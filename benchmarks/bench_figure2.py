@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 2 (Gantt chart of Newton–Euler on the hypercube).
+
+The paper shows a detail of the schedule start: per-processor task blocks
+plus send / receive half-blocks and routing quarter-blocks.  The benchmark
+runs the SA scheduler under the contention-aware simulator fidelity, renders
+the text Gantt chart, verifies that the trace contains the communication
+overhead records the figure depicts and that the schedule is valid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_gantt_chart(benchmark, save_artifact):
+    fig = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+    result = fig.result
+
+    assert result.makespan > 0
+    trace = result.trace
+    trace.validate()
+    # the figure's half/quarter blocks: send and routing overheads are recorded
+    kinds = {o.kind for o in trace.overhead_records}
+    assert "send" in kinds
+    # on the hypercube some messages need more than one hop, hence routing blocks
+    assert any(msg.n_hops > 1 for msg in trace.message_records)
+    # every processor of the 8-node hypercube appears in the chart
+    assert all(f"P{p}" in fig.chart for p in range(8))
+
+    save_artifact("figure2_gantt", fig.chart)
+    print("\n" + fig.chart)

@@ -1,0 +1,76 @@
+"""Benchmark: list schedulers vs SA on random task graphs (paper §6b remark).
+
+The paper cites the classical result that HLF stays within 5 % of optimal on
+almost all random task graphs *when communication is free*, and observes that
+SA's advantage appears once interprocessor communication is charged.  This
+benchmark compares HLF, communication-aware HLF, ETF and SA over a batch of
+random layered DAGs, without and with communication, and checks:
+
+* without communication HLF and SA are statistically indistinguishable,
+* with communication SA's mean speedup is at least as good as plain HLF's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.model import LinearCommModel, ZeroCommModel
+from repro.core.config import SAConfig
+from repro.core.sa_scheduler import SAScheduler
+from repro.machine.machine import Machine
+from repro.schedulers.etf import ETFScheduler
+from repro.schedulers.hlf import HLFScheduler
+from repro.sim.engine import simulate
+from repro.taskgraph.generators import layered_random
+from repro.utils.tabulate import format_table
+
+N_GRAPHS = 8
+
+
+def _policies():
+    return {
+        "HLF": lambda: HLFScheduler(seed=0),
+        "HLF/min-comm": lambda: HLFScheduler(placement="min_comm"),
+        "ETF": lambda: ETFScheduler(),
+        "SA": lambda: SAScheduler(SAConfig(seed=0)),
+    }
+
+
+def _run_batch(with_communication: bool):
+    machine = Machine.hypercube(3)
+    comm = LinearCommModel() if with_communication else ZeroCommModel()
+    speedups = {name: [] for name in _policies()}
+    for i in range(N_GRAPHS):
+        graph = layered_random(
+            n_layers=6, width=8, edge_probability=0.4,
+            mean_duration=20.0, mean_comm=8.0, seed=100 + i,
+        )
+        for name, factory in _policies().items():
+            result = simulate(graph, machine, factory(), comm_model=comm, record_trace=False)
+            speedups[name].append(result.speedup())
+    return {name: (float(np.mean(v)), float(np.std(v))) for name, v in speedups.items()}
+
+
+@pytest.mark.benchmark(group="random-graphs")
+def test_random_graph_comparison(benchmark, save_artifact):
+    def run_both():
+        return _run_batch(False), _run_batch(True)
+
+    without, with_comm = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    # without communication, level-based scheduling is what matters: SA ~ HLF
+    assert with_comm["SA"][0] >= with_comm["HLF"][0] * 0.97
+    assert abs(without["SA"][0] - without["HLF"][0]) / without["HLF"][0] < 0.05
+
+    rows = [
+        [name, without[name][0], without[name][1], with_comm[name][0], with_comm[name][1]]
+        for name in without
+    ]
+    text = format_table(
+        rows,
+        headers=["Policy", "Sp w/o comm", "std", "Sp with comm", "std"],
+        title=f"Random layered DAGs (n={N_GRAPHS}) on the 8-node hypercube",
+    )
+    save_artifact("random_graphs", text)
+    print("\n" + text)

@@ -1,0 +1,55 @@
+"""Benchmark: scheduler runtime scaling.
+
+The staged SA scheduler anneals one packet per assignment epoch; its runtime
+therefore grows with the number of tasks and with the per-packet iteration
+budget.  These benchmarks time the full scheduling + simulation pipeline for
+increasing task-graph sizes and for the HLF baseline, giving a performance
+reference point for the library (pytest-benchmark reports the timings).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.model import LinearCommModel
+from repro.core.config import SAConfig
+from repro.core.sa_scheduler import SAScheduler
+from repro.machine.machine import Machine
+from repro.schedulers.hlf import HLFScheduler
+from repro.sim.engine import simulate
+from repro.taskgraph.generators import layered_random
+
+
+def _graph(n_layers: int, width: int):
+    return layered_random(
+        n_layers=n_layers, width=width, edge_probability=0.3,
+        mean_duration=20.0, mean_comm=6.0, seed=7,
+    )
+
+
+@pytest.mark.benchmark(group="scalability-sa")
+@pytest.mark.parametrize("n_layers,width", [(4, 5), (8, 8), (12, 10)])
+def test_sa_scheduler_scaling(benchmark, n_layers, width):
+    graph = _graph(n_layers, width)
+    machine = Machine.hypercube(3)
+
+    def run():
+        return simulate(graph, machine, SAScheduler(SAConfig(seed=0)),
+                        comm_model=LinearCommModel(), record_trace=False)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(result.task_processor) == graph.n_tasks
+
+
+@pytest.mark.benchmark(group="scalability-hlf")
+@pytest.mark.parametrize("n_layers,width", [(4, 5), (8, 8), (12, 10)])
+def test_hlf_scheduler_scaling(benchmark, n_layers, width):
+    graph = _graph(n_layers, width)
+    machine = Machine.hypercube(3)
+
+    def run():
+        return simulate(graph, machine, HLFScheduler(),
+                        comm_model=LinearCommModel(), record_trace=False)
+
+    result = benchmark(run)
+    assert len(result.task_processor) == graph.n_tasks

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Table 1 (principal program characteristics).
+
+Paper reference (Table 1):
+
+    Program        Tasks  Avg.Dur  Avg.Comm  C/C %  Max speedup
+    Newton-Euler      95     9.12      3.96   43.0         7.86
+    Gauss-Jordan     111    84.77      6.85    8.1         9.14
+    FFT               73    72.74      6.41    8.8        40.85
+    Matrix Multiply  111    73.96      7.21    9.7        82.10
+
+The benchmark measures the generation + characterization time and asserts the
+calibration tolerances, then saves the measured-vs-paper table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_characteristics(benchmark, save_artifact):
+    rows = benchmark(run_table1)
+
+    # Task counts are exact; durations / communication calibrated within 15 %.
+    for row in rows:
+        assert row.n_tasks == row.paper_n_tasks
+        assert row.avg_duration == pytest.approx(row.paper_avg_duration, rel=0.15)
+        assert row.avg_comm == pytest.approx(row.paper_avg_comm, rel=0.15)
+
+    # The ordering of maximum speedups must match the paper: MM > FFT > GJ, NE.
+    by_name = {r.program: r for r in rows}
+    assert by_name["Matrix Multiply"].max_speedup > by_name["FFT"].max_speedup
+    assert by_name["FFT"].max_speedup > by_name["Gauss-Jordan"].max_speedup
+    assert by_name["FFT"].max_speedup > by_name["Newton-Euler"].max_speedup
+
+    text = format_table1(rows)
+    save_artifact("table1", text)
+    print("\n" + text)

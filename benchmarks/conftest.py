@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a table or a figure)
+or one extension/ablation study.  Besides the timing collected by
+pytest-benchmark, each benchmark writes its rendered artifact to
+``benchmarks/results/<name>.txt`` so the regenerated tables can be inspected
+and diffed against the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_artifact(results_dir):
+    """Return a ``save(name, text)`` callable that persists a rendered artifact."""
+
+    def save(name: str, text: str) -> Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return save

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Scheduling on a user-defined machine: custom topology and link parameters.
+
+The library is not limited to the paper's three architectures.  This example
+models a small heterogeneous cluster interconnect — two fully-connected
+quads bridged by a single gateway link — with slower links than the paper's
+10 Mbit/s, and schedules a Gauss–Jordan solver on it.  It demonstrates:
+
+* building a :class:`~repro.machine.topology.Topology` from an explicit link
+  list,
+* customizing :class:`~repro.machine.params.CommParams`,
+* inspecting distances / routes,
+* comparing the SA scheduler with the communication-aware ETF baseline,
+* exporting the task graph to Graphviz DOT for visualization.
+
+Run with:  python examples/custom_topology.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import (
+    CommParams,
+    ETFScheduler,
+    HLFScheduler,
+    LinearCommModel,
+    Machine,
+    SAConfig,
+    SAScheduler,
+    Topology,
+    simulate,
+)
+from repro.taskgraph import io as graph_io
+from repro.utils.tabulate import format_table
+from repro.workloads import gauss_jordan
+
+
+def build_machine() -> Machine:
+    """Two fully-connected quads (0-3 and 4-7) joined by a single bridge link 3-4."""
+    links = []
+    for base in (0, 4):
+        for i in range(base, base + 4):
+            for j in range(i + 1, base + 4):
+                links.append((i, j))
+    links.append((3, 4))  # the bridge
+    topology = Topology.from_links(8, links, name="dual-quad-bridge")
+
+    # Slower 5 Mbit/s links and heavier context switches than the paper's machine.
+    params = CommParams(
+        context_switch=4.0,
+        output_setup=5.0,
+        header_control=3.0,
+        bandwidth_bits_per_us=5.0,
+        bits_per_word=40.0,
+    )
+    return Machine(topology, params)
+
+
+def main() -> None:
+    machine = build_machine()
+    print(f"Machine: {machine.name}, {machine.n_processors} processors, "
+          f"{machine.topology.n_links} links, diameter {machine.diameter}")
+    print(f"  sigma (send setup) = {machine.params.sigma:.0f} us, "
+          f"tau (route/receive) = {machine.params.tau:.0f} us")
+    print(f"  route 0 -> 7: {machine.route(0, 7)}  (crosses the bridge)\n")
+
+    graph = gauss_jordan(n=8)
+    comm = LinearCommModel()
+
+    rows = []
+    for policy in (
+        SAScheduler(SAConfig.paper_defaults(seed=0)),
+        HLFScheduler(),
+        ETFScheduler(),
+    ):
+        result = simulate(graph, machine, policy, comm_model=comm, record_trace=False)
+        rows.append([result.policy_name, result.makespan, result.speedup(),
+                     100.0 * result.efficiency()])
+    print(format_table(
+        rows,
+        headers=["Policy", "Makespan (us)", "Speedup", "Efficiency %"],
+        title=f"Gauss-Jordan (n=8) on {machine.name}",
+    ))
+
+    # Export the task graph for visualization with Graphviz.
+    dot_path = Path("gauss_jordan_n8.dot")
+    dot_path.write_text(graph_io.to_dot(graph))
+    print(f"\nTask graph written to {dot_path} (render with: dot -Tpng {dot_path} -o graph.png)")
+
+
+if __name__ == "__main__":
+    main()

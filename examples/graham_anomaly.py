@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Graham's list-scheduling anomaly and how the SA scheduler copes with it.
+
+The paper remarks (§6b) that the simulated-annealing scheduler "is able to
+optimally solve the Graham list scheduling anomalies".  Graham (1969) showed
+that list schedulers can behave paradoxically: shortening tasks, removing
+precedence constraints or *adding processors* can lengthen the schedule,
+because the priority list interacts badly with the changed instance.
+
+This example schedules the classical anomaly instance with HLF and with the
+SA scheduler on 3 and 4 processors and prints the resulting makespans,
+illustrating that the annealing scheduler is free to deviate from the rigid
+priority order and therefore avoids the worst of the anomaly.
+
+Run with:  python examples/graham_anomaly.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    HLFScheduler,
+    Machine,
+    SAConfig,
+    SAScheduler,
+    ZeroCommModel,
+    render_gantt,
+    simulate,
+)
+from repro.taskgraph.generators import graham_anomaly_graph
+from repro.utils.tabulate import format_table
+
+
+def main() -> None:
+    graph = graham_anomaly_graph()
+    print("Graham anomaly instance: 9 tasks, durations "
+          f"{[graph.duration(t) for t in graph.tasks]}, total work {graph.total_work():.0f}\n")
+
+    rows = []
+    best_sa = None
+    for n_procs in (3, 4):
+        machine = Machine.fully_connected(n_procs)
+        hlf = simulate(graph, machine, HLFScheduler(), comm_model=ZeroCommModel())
+        sa = simulate(graph, machine, SAScheduler(SAConfig(seed=2)), comm_model=ZeroCommModel())
+        lower_bound = max(graph.critical_path_length(), graph.total_work() / n_procs)
+        rows.append([n_procs, hlf.makespan, sa.makespan, lower_bound])
+        if n_procs == 3:
+            best_sa = sa
+
+    print(format_table(
+        rows,
+        headers=["Processors", "HLF makespan", "SA makespan", "Lower bound"],
+        title="Graham anomaly instance (no communication cost)",
+    ))
+    print("\nThe anomaly: a rigid priority list cannot always exploit the extra")
+    print("processor, while the annealing scheduler re-optimizes every packet and")
+    print("stays at (or near) the lower bound in both configurations.\n")
+
+    print("SA schedule on 3 processors:")
+    print(render_gantt(best_sa, width=70))
+
+
+if __name__ == "__main__":
+    main()

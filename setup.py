@@ -1,0 +1,12 @@
+"""Compatibility shim so editable installs work without the ``wheel`` package.
+
+The execution environment is offline and does not ship ``wheel``, which the
+PEP-660 editable-install path of setuptools < 70 requires.  Keeping this stub
+allows ``pip install -e . --no-build-isolation`` (pip falls back to the legacy
+``setup.py develop`` route) as well as ``python setup.py develop``.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""repro — directed task-graph scheduling by simulated annealing.
+
+A from-scratch reproduction of
+
+    E. H. D'Hollander and Y. Devis,
+    "Directed Taskgraph Scheduling Using Simulated Annealing",
+    Proc. International Conference on Parallel Processing (ICPP), 1991.
+
+The library contains the staged simulated-annealing scheduler (the paper's
+contribution, :mod:`repro.core`), the substrates it relies on (task graphs,
+machine models, communication costs, a discrete-event execution simulator),
+the list-scheduling baselines it is compared against, the four paper
+workloads as parametric generators, and experiment drivers regenerating every
+table and figure of the evaluation.
+
+Quickstart
+----------
+>>> from repro import Machine, SAScheduler, HLFScheduler, simulate
+>>> from repro.workloads import newton_euler
+>>> graph = newton_euler()                 # the paper's NE program (95 tasks)
+>>> machine = Machine.hypercube(3)         # 8-processor hypercube
+>>> sa = simulate(graph, machine, SAScheduler())
+>>> hlf = simulate(graph, machine, HLFScheduler())
+>>> sa.speedup() > 0 and hlf.speedup() > 0
+True
+"""
+
+from repro._version import __version__
+from repro.exceptions import (
+    ReproError,
+    TaskGraphError,
+    CycleError,
+    UnknownTaskError,
+    MachineError,
+    TopologyError,
+    SchedulingError,
+    SimulationError,
+    ConfigurationError,
+)
+
+# Substrates
+from repro.taskgraph import TaskGraph, Task
+from repro.machine import Machine, Topology, CommParams
+from repro.comm import LinearCommModel, ZeroCommModel, effective_comm_cost
+
+# The paper's scheduler and the baselines
+from repro.core import SAConfig, SAScheduler
+from repro.schedulers import (
+    SchedulingPolicy,
+    PacketContext,
+    HLFScheduler,
+    ETFScheduler,
+    FIFOScheduler,
+    LPTScheduler,
+    RandomScheduler,
+)
+
+# Execution simulator
+from repro.sim import Simulator, simulate, SimulationResult, render_gantt
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "TaskGraphError",
+    "CycleError",
+    "UnknownTaskError",
+    "MachineError",
+    "TopologyError",
+    "SchedulingError",
+    "SimulationError",
+    "ConfigurationError",
+    # substrates
+    "TaskGraph",
+    "Task",
+    "Machine",
+    "Topology",
+    "CommParams",
+    "LinearCommModel",
+    "ZeroCommModel",
+    "effective_comm_cost",
+    # schedulers
+    "SAConfig",
+    "SAScheduler",
+    "SchedulingPolicy",
+    "PacketContext",
+    "HLFScheduler",
+    "ETFScheduler",
+    "FIFOScheduler",
+    "LPTScheduler",
+    "RandomScheduler",
+    # simulator
+    "Simulator",
+    "simulate",
+    "SimulationResult",
+    "render_gantt",
+]

@@ -1,0 +1,20 @@
+"""Analysis utilities: metrics, SA-vs-baseline comparisons, trajectories, reports."""
+
+from repro.analysis.metrics import speedup, efficiency, percent_gain, schedule_length_ratio
+from repro.analysis.comparison import ComparisonResult, compare_policies, run_policy
+from repro.analysis.trajectory import PacketTrajectory, record_packet_trajectory
+from repro.analysis.report import comparison_table, properties_table
+
+__all__ = [
+    "speedup",
+    "efficiency",
+    "percent_gain",
+    "schedule_length_ratio",
+    "ComparisonResult",
+    "compare_policies",
+    "run_policy",
+    "PacketTrajectory",
+    "record_packet_trajectory",
+    "comparison_table",
+    "properties_table",
+]

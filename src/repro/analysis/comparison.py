@@ -1,0 +1,96 @@
+"""Run several scheduling policies on the same (graph, machine) and compare speedups.
+
+This is the machinery behind the Table-2 reproduction: for every program ×
+architecture × communication setting the SA scheduler and the HLF baseline
+are simulated under identical conditions and the percentage gain is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import percent_gain
+from repro.comm.model import CommunicationModel, LinearCommModel, ZeroCommModel
+from repro.machine.machine import Machine
+from repro.schedulers.base import SchedulingPolicy
+from repro.sim.engine import simulate
+from repro.sim.results import SimulationResult
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["ComparisonResult", "run_policy", "compare_policies"]
+
+
+@dataclass
+class ComparisonResult:
+    """Speedups of several policies on one (graph, machine, comm-model) combination."""
+
+    graph_name: str
+    machine_name: str
+    comm_enabled: bool
+    results: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    def speedup(self, policy_name: str) -> float:
+        return self.results[policy_name].speedup()
+
+    def gain_percent(self, policy_name: str, baseline_name: str) -> float:
+        """The paper's "% gain" of *policy_name* over *baseline_name*."""
+        return percent_gain(self.speedup(policy_name), self.speedup(baseline_name))
+
+    def policy_names(self) -> List[str]:
+        return list(self.results.keys())
+
+
+def run_policy(
+    graph: TaskGraph,
+    machine: Machine,
+    policy: SchedulingPolicy,
+    comm_model: Optional[CommunicationModel] = None,
+    fidelity: str = "latency",
+    record_trace: bool = False,
+) -> SimulationResult:
+    """Simulate one policy once and return its result (trace off by default)."""
+    return simulate(
+        graph,
+        machine,
+        policy,
+        comm_model=comm_model,
+        fidelity=fidelity,
+        record_trace=record_trace,
+    )
+
+
+def compare_policies(
+    graph: TaskGraph,
+    machine: Machine,
+    policies: Sequence[SchedulingPolicy],
+    with_communication: bool = True,
+    fidelity: str = "latency",
+    record_trace: bool = False,
+) -> ComparisonResult:
+    """Run every policy in *policies* on the same problem and collect the results.
+
+    Parameters
+    ----------
+    with_communication:
+        ``True`` uses the full equation-4 model; ``False`` uses the zero model
+        (the paper's "w/o comm" columns).
+    """
+    comm_model: CommunicationModel = LinearCommModel() if with_communication else ZeroCommModel()
+    comparison = ComparisonResult(
+        graph_name=graph.name,
+        machine_name=machine.name,
+        comm_enabled=with_communication,
+    )
+    for policy in policies:
+        result = run_policy(
+            graph,
+            machine,
+            policy,
+            comm_model=comm_model,
+            fidelity=fidelity,
+            record_trace=record_trace,
+        )
+        name = getattr(policy, "name", type(policy).__name__)
+        comparison.results[name] = result
+    return comparison

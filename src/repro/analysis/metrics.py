@@ -1,0 +1,47 @@
+"""Scalar performance metrics used throughout the evaluation.
+
+The paper reports *speedup* (serial time over parallel completion time) and
+the *% gain* of simulated annealing over the HLF baseline; efficiency and the
+schedule-length ratio against the critical-path lower bound are added for the
+extension benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+__all__ = ["speedup", "efficiency", "percent_gain", "schedule_length_ratio"]
+
+
+def speedup(total_work: float, makespan: float) -> float:
+    """``T_1 / T_p``: serial execution time divided by the parallel completion time."""
+    if makespan <= 0:
+        raise ValueError(f"makespan must be > 0, got {makespan}")
+    if total_work < 0:
+        raise ValueError(f"total_work must be >= 0, got {total_work}")
+    return total_work / makespan
+
+
+def efficiency(total_work: float, makespan: float, n_processors: int) -> float:
+    """Speedup divided by the processor count."""
+    if n_processors < 1:
+        raise ValueError(f"n_processors must be >= 1, got {n_processors}")
+    return speedup(total_work, makespan) / n_processors
+
+
+def percent_gain(value: float, baseline: float) -> float:
+    """Relative improvement of *value* over *baseline*, in percent.
+
+    This is the paper's "% gain" column: ``100 * (S_SA - S_HLF) / S_HLF``.
+    """
+    check_positive("baseline", baseline)
+    return 100.0 * (value - baseline) / baseline
+
+
+def schedule_length_ratio(makespan: float, critical_path_length: float) -> float:
+    """Makespan divided by the critical-path lower bound (>= 1 for valid schedules
+    when communication is free)."""
+    check_positive("critical_path_length", critical_path_length)
+    if makespan < 0:
+        raise ValueError(f"makespan must be >= 0, got {makespan}")
+    return makespan / critical_path_length

@@ -1,0 +1,44 @@
+"""Plain-text report formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.comparison import ComparisonResult
+from repro.taskgraph.properties import GraphProperties
+from repro.utils.tabulate import format_table
+
+__all__ = ["comparison_table", "properties_table"]
+
+
+def properties_table(properties: Iterable[GraphProperties], title: str | None = None) -> str:
+    """Render Table-1-style rows (tasks, durations, communication, C/C ratio, max speedup)."""
+    headers = ["Program", "Tasks", "Avg. Duration", "Avg. Commun.", "C/C Ratio %", "Max. Speedup"]
+    rows = [p.as_table1_row() for p in properties]
+    return format_table(rows, headers=headers, title=title)
+
+
+def comparison_table(
+    comparisons: Sequence[ComparisonResult],
+    policy: str = "SA",
+    baseline: str = "HLF",
+    title: str | None = None,
+) -> str:
+    """Render Table-2-style rows: speedups of *policy* vs *baseline* and % gain.
+
+    Each :class:`~repro.analysis.comparison.ComparisonResult` becomes one row
+    labelled by its machine; the caller groups rows per program (the paper has
+    one sub-table per program).
+    """
+    headers = ["Architecture", f"(Sp){policy}", f"(Sp){baseline}", "% gain"]
+    rows = []
+    for comp in comparisons:
+        rows.append(
+            [
+                comp.machine_name,
+                comp.speedup(policy),
+                comp.speedup(baseline),
+                comp.gain_percent(policy, baseline),
+            ]
+        )
+    return format_table(rows, headers=headers, title=title, floatfmt=".2f")

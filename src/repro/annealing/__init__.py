@@ -1,0 +1,52 @@
+"""Generic simulated-annealing framework.
+
+The paper's scheduler runs many small annealing processes (one per packet).
+This subpackage factors the annealing machinery out of the scheduling logic:
+
+* :mod:`~repro.annealing.acceptance` — the paper's sigmoid Boltzmann rule
+  (eq. 1) and the classical Metropolis rule,
+* :mod:`~repro.annealing.cooling`    — cooling schedules (geometric, linear,
+  logarithmic, adaptive),
+* :mod:`~repro.annealing.stopping`   — stall/iteration-budget stopping rules,
+* :mod:`~repro.annealing.problem`    — the abstract annealing problem
+  (state copy, random move, cost),
+* :mod:`~repro.annealing.annealer`   — the annealing loop with optional
+  trajectory recording and elitist best-state tracking.
+"""
+
+from repro.annealing.acceptance import (
+    AcceptanceRule,
+    BoltzmannSigmoidAcceptance,
+    MetropolisAcceptance,
+    GreedyAcceptance,
+)
+from repro.annealing.cooling import (
+    CoolingSchedule,
+    GeometricCooling,
+    LinearCooling,
+    LogarithmicCooling,
+    ConstantTemperature,
+)
+from repro.annealing.stopping import StoppingRule, StallStopping, MaxIterationsStopping, CombinedStopping
+from repro.annealing.problem import AnnealingProblem
+from repro.annealing.annealer import Annealer, AnnealingResult, AnnealingRecord
+
+__all__ = [
+    "AcceptanceRule",
+    "BoltzmannSigmoidAcceptance",
+    "MetropolisAcceptance",
+    "GreedyAcceptance",
+    "CoolingSchedule",
+    "GeometricCooling",
+    "LinearCooling",
+    "LogarithmicCooling",
+    "ConstantTemperature",
+    "StoppingRule",
+    "StallStopping",
+    "MaxIterationsStopping",
+    "CombinedStopping",
+    "AnnealingProblem",
+    "Annealer",
+    "AnnealingResult",
+    "AnnealingRecord",
+]

@@ -1,0 +1,95 @@
+"""Move-acceptance rules.
+
+The paper (eq. 1) accepts a candidate mapping with probability
+
+    B(dF, Temp) = 1 / (1 + exp(dF / Temp))
+
+where ``dF = F(m') - F(m)`` is the cost change.  At ``Temp = inf`` every move
+is accepted with probability 0.5; at ``Temp = 0`` only strictly improving
+moves are accepted (eq. 2).  The classical Metropolis rule (accept improving
+moves always, worsening moves with probability ``exp(-dF/T)``) is provided for
+comparison, as is a purely greedy rule used as an ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+__all__ = [
+    "AcceptanceRule",
+    "BoltzmannSigmoidAcceptance",
+    "MetropolisAcceptance",
+    "GreedyAcceptance",
+]
+
+# exp() overflows float64 beyond ~709; clamp the exponent to avoid warnings.
+_MAX_EXPONENT = 500.0
+
+
+class AcceptanceRule(ABC):
+    """Maps a cost change and a temperature to an acceptance probability."""
+
+    @abstractmethod
+    def probability(self, delta_cost: float, temperature: float) -> float:
+        """Probability in [0, 1] of accepting a move with cost change *delta_cost*."""
+
+    def accept(self, delta_cost: float, temperature: float, rng) -> bool:
+        """Draw an accept/reject decision using *rng* (a numpy Generator)."""
+        p = self.probability(delta_cost, temperature)
+        if p >= 1.0:
+            return True
+        if p <= 0.0:
+            return False
+        return bool(rng.random() < p)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class BoltzmannSigmoidAcceptance(AcceptanceRule):
+    """The paper's sigmoid rule ``B(dF, T) = 1 / (1 + exp(dF / T))`` (eq. 1).
+
+    Limits (eq. 2): at infinite temperature every move is a coin flip; at zero
+    temperature improving moves (``dF < 0``) are always accepted and
+    non-improving moves never are.
+    """
+
+    def probability(self, delta_cost: float, temperature: float) -> float:
+        if temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {temperature}")
+        if temperature == 0.0:
+            return 1.0 if delta_cost < 0.0 else 0.0
+        if math.isinf(temperature):
+            return 0.5
+        exponent = delta_cost / temperature
+        if exponent > _MAX_EXPONENT:
+            return 0.0
+        if exponent < -_MAX_EXPONENT:
+            return 1.0
+        return 1.0 / (1.0 + math.exp(exponent))
+
+
+class MetropolisAcceptance(AcceptanceRule):
+    """Classical Metropolis rule: improving moves always, worsening with ``exp(-dF/T)``."""
+
+    def probability(self, delta_cost: float, temperature: float) -> float:
+        if temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {temperature}")
+        if delta_cost <= 0.0:
+            return 1.0
+        if temperature == 0.0:
+            return 0.0
+        if math.isinf(temperature):
+            return 1.0
+        exponent = delta_cost / temperature
+        if exponent > _MAX_EXPONENT:
+            return 0.0
+        return math.exp(-exponent)
+
+
+class GreedyAcceptance(AcceptanceRule):
+    """Hill-climbing ablation: accept only strictly improving moves, at any temperature."""
+
+    def probability(self, delta_cost: float, temperature: float) -> float:
+        return 1.0 if delta_cost < 0.0 else 0.0

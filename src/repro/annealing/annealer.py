@@ -1,0 +1,190 @@
+"""The generic simulated-annealing loop.
+
+The loop structure follows the paper's algorithm (§5, step 2): for each
+temperature of the cooling sequence a number of proposals are generated and
+accepted according to the acceptance rule; the run terminates when a stopping
+rule fires (cost constant for a number of temperature steps, or a maximum
+number of temperature steps).
+
+The annealer tracks the best state ever visited ("elitism") and can record
+the full cost trajectory, which the Figure-1 reproduction uses to plot the
+per-packet level / communication / total cost curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.annealing.acceptance import AcceptanceRule, BoltzmannSigmoidAcceptance
+from repro.annealing.cooling import CoolingSchedule, GeometricCooling
+from repro.annealing.problem import AnnealingProblem
+from repro.annealing.stopping import CombinedStopping, MaxIterationsStopping, StallStopping, StoppingRule
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["Annealer", "AnnealingResult", "AnnealingRecord"]
+
+
+@dataclass(frozen=True)
+class AnnealingRecord:
+    """One row of the annealing trajectory (recorded per accepted/rejected proposal)."""
+
+    iteration: int
+    temperature: float
+    cost: float
+    accepted: bool
+
+
+@dataclass
+class AnnealingResult:
+    """Outcome of one annealing run.
+
+    Attributes
+    ----------
+    best_state, best_cost:
+        The lowest-cost state encountered and its cost.
+    final_state, final_cost:
+        The state the walk ended on (may be worse than the best when the
+        last accepted move was uphill).
+    n_iterations:
+        Number of outer (temperature) iterations executed.
+    n_proposals, n_accepted:
+        Total proposals generated and accepted.
+    trajectory:
+        Per-proposal records when trajectory recording was enabled, else empty.
+    """
+
+    best_state: Any
+    best_cost: float
+    final_state: Any
+    final_cost: float
+    n_iterations: int
+    n_proposals: int
+    n_accepted: int
+    trajectory: List[AnnealingRecord] = field(default_factory=list)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Fraction of proposals accepted (0.0 when nothing was proposed)."""
+        return self.n_accepted / self.n_proposals if self.n_proposals else 0.0
+
+
+class Annealer:
+    """Run simulated annealing on an :class:`AnnealingProblem`.
+
+    Parameters
+    ----------
+    acceptance:
+        Acceptance rule; defaults to the paper's sigmoid Boltzmann rule.
+    cooling:
+        Cooling schedule; defaults to geometric cooling with alpha = 0.9.
+    stopping:
+        Stopping rule applied after each outer (temperature) iteration;
+        defaults to the paper's rule — stop after the cost is unchanged for
+        5 temperature steps or after 100 temperature steps, whichever comes
+        first.
+    moves_per_temperature:
+        Number of proposals evaluated at each temperature (the inner loop).
+    initial_temperature:
+        Starting temperature; ``None`` asks the problem for an estimate.
+    record_trajectory:
+        Keep a per-proposal :class:`AnnealingRecord` list in the result.
+    """
+
+    def __init__(
+        self,
+        acceptance: Optional[AcceptanceRule] = None,
+        cooling: Optional[CoolingSchedule] = None,
+        stopping: Optional[StoppingRule] = None,
+        moves_per_temperature: int = 20,
+        initial_temperature: Optional[float] = None,
+        record_trajectory: bool = False,
+    ) -> None:
+        if moves_per_temperature < 1:
+            raise ValueError(
+                f"moves_per_temperature must be >= 1, got {moves_per_temperature}"
+            )
+        self.acceptance = acceptance or BoltzmannSigmoidAcceptance()
+        self.cooling = cooling or GeometricCooling(alpha=0.9)
+        self.stopping = stopping or CombinedStopping(
+            [StallStopping(patience=5), MaxIterationsStopping(max_iterations=100)]
+        )
+        self.moves_per_temperature = int(moves_per_temperature)
+        self.initial_temperature = initial_temperature
+        self.record_trajectory = bool(record_trajectory)
+
+    def run(
+        self,
+        problem: AnnealingProblem,
+        seed: SeedLike = None,
+        callback: Optional[Callable[[AnnealingRecord, Any], None]] = None,
+    ) -> AnnealingResult:
+        """Anneal *problem* and return an :class:`AnnealingResult`.
+
+        *callback*, when given, is invoked with ``(record, current_state)``
+        after every proposal regardless of the ``record_trajectory`` flag
+        (used by the Figure-1 trajectory capture, which needs to decompose
+        the cost of the current state without paying for list storage on
+        every packet).
+        """
+        rng = as_rng(seed)
+        state = problem.initial_state(rng)
+        cost = problem.cost(state)
+        best_state, best_cost = state, cost
+
+        t0 = (
+            self.initial_temperature
+            if self.initial_temperature is not None
+            else problem.initial_temperature(rng)
+        )
+        if t0 <= 0:
+            raise ValueError(f"initial temperature must be > 0, got {t0}")
+
+        self.stopping.reset()
+        trajectory: List[AnnealingRecord] = []
+        n_proposals = 0
+        n_accepted = 0
+        outer = 0
+        while True:
+            temperature = self.cooling.temperature(outer, t0)
+            for _ in range(self.moves_per_temperature):
+                candidate = problem.propose(state, rng)
+                delta = problem.cost_delta(state, candidate, cost)
+                if delta is None:
+                    candidate_cost = problem.cost(candidate)
+                    delta = candidate_cost - cost
+                else:
+                    candidate_cost = cost + delta
+                n_proposals += 1
+                accepted = self.acceptance.accept(delta, temperature, rng)
+                if accepted:
+                    state, cost = candidate, candidate_cost
+                    n_accepted += 1
+                    if cost < best_cost:
+                        best_state, best_cost = state, cost
+                if self.record_trajectory or callback is not None:
+                    record = AnnealingRecord(
+                        iteration=n_proposals,
+                        temperature=temperature,
+                        cost=cost,
+                        accepted=accepted,
+                    )
+                    if self.record_trajectory:
+                        trajectory.append(record)
+                    if callback is not None:
+                        callback(record, state)
+            if self.stopping.should_stop(outer, cost):
+                outer += 1
+                break
+            outer += 1
+
+        return AnnealingResult(
+            best_state=best_state,
+            best_cost=best_cost,
+            final_state=state,
+            final_cost=cost,
+            n_iterations=outer,
+            n_proposals=n_proposals,
+            n_accepted=n_accepted,
+            trajectory=trajectory,
+        )

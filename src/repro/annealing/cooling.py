@@ -1,0 +1,92 @@
+"""Cooling schedules.
+
+The cooling function generates the temperature sequence ``Temp_k`` that takes
+the annealing process from (near-)random acceptance to deterministic descent.
+The paper does not prescribe a specific schedule, only that the temperature
+decreases and that the per-packet annealing stops after the cost stays
+constant for five iterations or a preset iteration budget is exhausted; the
+geometric schedule is the de-facto standard (Kirkpatrick et al. 1983) and is
+the library default.  Alternative schedules are provided for the cooling
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.utils.validation import check_in_range, check_positive
+
+__all__ = [
+    "CoolingSchedule",
+    "GeometricCooling",
+    "LinearCooling",
+    "LogarithmicCooling",
+    "ConstantTemperature",
+]
+
+
+class CoolingSchedule(ABC):
+    """Maps the outer-iteration index ``k = 0, 1, 2, ...`` to a temperature."""
+
+    @abstractmethod
+    def temperature(self, k: int, initial_temperature: float) -> float:
+        """Temperature for outer iteration *k*, given the starting temperature."""
+
+    def sequence(self, n: int, initial_temperature: float) -> list[float]:
+        """The first *n* temperatures as a list (mainly for inspection/tests)."""
+        return [self.temperature(k, initial_temperature) for k in range(n)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class GeometricCooling(CoolingSchedule):
+    """``T_k = T_0 * alpha**k`` with ``0 < alpha < 1`` (default 0.9)."""
+
+    def __init__(self, alpha: float = 0.9) -> None:
+        self.alpha = check_in_range("alpha", alpha, 1e-9, 1.0 - 1e-12)
+
+    def temperature(self, k: int, initial_temperature: float) -> float:
+        if k < 0:
+            raise ValueError(f"iteration index must be >= 0, got {k}")
+        return initial_temperature * (self.alpha**k)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GeometricCooling(alpha={self.alpha})"
+
+
+class LinearCooling(CoolingSchedule):
+    """``T_k = max(T_0 - k * step, floor)``; reaches the floor in a known number of steps."""
+
+    def __init__(self, step: float = 0.05, floor: float = 0.0) -> None:
+        self.step = check_positive("step", step)
+        if floor < 0:
+            raise ValueError(f"floor must be >= 0, got {floor}")
+        self.floor = float(floor)
+
+    def temperature(self, k: int, initial_temperature: float) -> float:
+        if k < 0:
+            raise ValueError(f"iteration index must be >= 0, got {k}")
+        return max(initial_temperature - k * self.step, self.floor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LinearCooling(step={self.step}, floor={self.floor})"
+
+
+class LogarithmicCooling(CoolingSchedule):
+    """``T_k = T_0 / log(k + e)`` — the slow schedule with asymptotic convergence guarantees."""
+
+    def temperature(self, k: int, initial_temperature: float) -> float:
+        if k < 0:
+            raise ValueError(f"iteration index must be >= 0, got {k}")
+        return initial_temperature / math.log(k + math.e)
+
+
+class ConstantTemperature(CoolingSchedule):
+    """No cooling at all — used as a degenerate baseline in ablations."""
+
+    def temperature(self, k: int, initial_temperature: float) -> float:
+        if k < 0:
+            raise ValueError(f"iteration index must be >= 0, got {k}")
+        return initial_temperature

@@ -1,0 +1,62 @@
+"""The abstract annealing problem.
+
+An :class:`AnnealingProblem` exposes the three ingredients the generic
+annealer needs — an initial state, a random neighbourhood move, and the cost
+of a state — and optionally a cheaper incremental-cost hook.  The packet
+mapping problem of the paper (:mod:`repro.core`) and a couple of test
+problems implement this interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Optional, Tuple
+
+__all__ = ["AnnealingProblem"]
+
+
+class AnnealingProblem(ABC):
+    """Interface between the generic annealer and a concrete optimization problem.
+
+    States may be any Python object; the annealer never mutates a state
+    in-place, it only keeps references to the states the problem returns, so
+    :meth:`propose` must return a *new* state (or an unshared copy).
+    """
+
+    @abstractmethod
+    def initial_state(self, rng) -> Any:
+        """Produce the starting state using the provided numpy Generator."""
+
+    @abstractmethod
+    def propose(self, state: Any, rng) -> Any:
+        """Return a randomly perturbed copy of *state* (the mapping scheme)."""
+
+    @abstractmethod
+    def cost(self, state: Any) -> float:
+        """The scalar cost ``F(state)`` to be minimized."""
+
+    def cost_delta(self, state: Any, new_state: Any, state_cost: float) -> Optional[float]:
+        """Optional incremental cost change ``F(new) - F(old)``.
+
+        Return ``None`` (the default) to make the annealer call :meth:`cost`
+        on the new state; problems with cheap incremental updates can override
+        this to avoid recomputing the full cost for every proposal.
+        """
+        return None
+
+    def initial_temperature(self, rng, n_samples: int = 32) -> float:
+        """Estimate a reasonable starting temperature.
+
+        The default samples *n_samples* random moves from the initial state
+        and returns the mean absolute cost change, so that early acceptance
+        probabilities sit in the productive range of the sigmoid.  Problems
+        with normalized costs may simply return a constant.
+        """
+        state = self.initial_state(rng)
+        base = self.cost(state)
+        deltas = []
+        for _ in range(max(1, n_samples)):
+            cand = self.propose(state, rng)
+            deltas.append(abs(self.cost(cand) - base))
+        mean_delta = sum(deltas) / len(deltas)
+        return max(mean_delta, 1e-6)

@@ -1,0 +1,103 @@
+"""Stopping rules for the annealing loop.
+
+The paper stops a packet's annealing "when the cost function remains constant
+for five iterations, or when a preset maximum number is reached" (§6a).  Both
+criteria are implemented, plus a combinator so the annealer can apply several
+rules at once.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+__all__ = [
+    "StoppingRule",
+    "StallStopping",
+    "MaxIterationsStopping",
+    "CombinedStopping",
+]
+
+
+class StoppingRule(ABC):
+    """Decides whether the outer annealing loop should terminate.
+
+    The rule is stateful; :meth:`reset` is called once before each annealing
+    run and :meth:`should_stop` once per outer iteration with the iteration
+    index and the cost reached at the end of that iteration.
+    """
+
+    def reset(self) -> None:
+        """Clear internal state before a new annealing run."""
+
+    @abstractmethod
+    def should_stop(self, iteration: int, cost: float) -> bool:
+        """Return True to terminate after outer iteration *iteration*."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class StallStopping(StoppingRule):
+    """Stop when the cost has not changed (within *tolerance*) for *patience* iterations."""
+
+    def __init__(self, patience: int = 5, tolerance: float = 1e-12) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        self.patience = int(patience)
+        self.tolerance = float(tolerance)
+        self._last_cost: float | None = None
+        self._stall_count = 0
+
+    def reset(self) -> None:
+        self._last_cost = None
+        self._stall_count = 0
+
+    def should_stop(self, iteration: int, cost: float) -> bool:
+        if self._last_cost is not None and abs(cost - self._last_cost) <= self.tolerance:
+            self._stall_count += 1
+        else:
+            self._stall_count = 0
+        self._last_cost = cost
+        return self._stall_count >= self.patience
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StallStopping(patience={self.patience})"
+
+
+class MaxIterationsStopping(StoppingRule):
+    """Stop after a fixed number of outer iterations (the paper's ``N_I``)."""
+
+    def __init__(self, max_iterations: int = 200) -> None:
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        self.max_iterations = int(max_iterations)
+
+    def should_stop(self, iteration: int, cost: float) -> bool:
+        return iteration + 1 >= self.max_iterations
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MaxIterationsStopping(max_iterations={self.max_iterations})"
+
+
+class CombinedStopping(StoppingRule):
+    """Stop as soon as *any* of the component rules wants to stop."""
+
+    def __init__(self, rules: Sequence[StoppingRule]) -> None:
+        if not rules:
+            raise ValueError("CombinedStopping needs at least one rule")
+        self.rules = list(rules)
+
+    def reset(self) -> None:
+        for rule in self.rules:
+            rule.reset()
+
+    def should_stop(self, iteration: int, cost: float) -> bool:
+        # Evaluate every rule so all of them see every iteration (stateful rules).
+        decisions = [rule.should_stop(iteration, cost) for rule in self.rules]
+        return any(decisions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CombinedStopping({self.rules!r})"

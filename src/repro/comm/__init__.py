@@ -1,0 +1,15 @@
+"""Communication-cost models (equation 4 of the paper)."""
+
+from repro.comm.model import (
+    CommunicationModel,
+    LinearCommModel,
+    ZeroCommModel,
+    effective_comm_cost,
+)
+
+__all__ = [
+    "CommunicationModel",
+    "LinearCommModel",
+    "ZeroCommModel",
+    "effective_comm_cost",
+]

@@ -1,0 +1,112 @@
+"""The effective interprocessor communication cost (paper equation 4).
+
+The cost to ship the message of edge ``t_i -> t_j`` (per-link transfer time
+``w_ij``) from processor ``P_u = m(t_i)`` to processor ``P_v = m(t_j)`` at hop
+distance ``d = d(u, v)`` is
+
+    c_ij = w_ij * d  +  (d - 1 + delta_uv) * tau  +  (1 - delta_uv) * sigma
+
+where ``delta_uv`` is the Kronecker delta (1 when both tasks share a
+processor).  The three terms are
+
+1. the distance–volume product: the message occupies ``d`` links for ``w_ij``
+   each (store-and-forward, bit-serial links),
+2. the routing overhead ``tau`` charged by each of the ``d - 1`` intermediate
+   processors (and the final receive), which vanishes for neighbours,
+3. the link-setup overhead ``sigma`` on the sender, which vanishes when both
+   tasks are co-located.
+
+For co-located tasks (``d = 0``, ``delta = 1``) the whole cost collapses to
+zero, matching the paper.
+
+Two model objects wrap this formula for the scheduler and the simulator:
+
+* :class:`LinearCommModel` — the full equation-4 cost,
+* :class:`ZeroCommModel`   — every message is free (the "w/o comm" columns of
+  Table 2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.machine.params import CommParams
+from repro.utils.validation import check_non_negative
+
+__all__ = [
+    "effective_comm_cost",
+    "CommunicationModel",
+    "LinearCommModel",
+    "ZeroCommModel",
+]
+
+
+def effective_comm_cost(
+    weight: float,
+    distance: int,
+    same_processor: bool,
+    params: CommParams,
+) -> float:
+    """Evaluate equation (4) for one message.
+
+    Parameters
+    ----------
+    weight:
+        The per-link transfer time ``w_ij`` of the edge (µs).
+    distance:
+        Hop distance ``d`` between the two processors.
+    same_processor:
+        Whether source and destination tasks are mapped onto the same
+        processor (the Kronecker delta of the equation).
+    params:
+        The machine's :class:`~repro.machine.params.CommParams`.
+    """
+    check_non_negative("weight", weight)
+    if distance < 0:
+        raise ValueError(f"distance must be >= 0, got {distance}")
+    delta = 1.0 if same_processor else 0.0
+    volume = weight * distance
+    routing = (distance - 1 + delta) * params.tau
+    setup = (1.0 - delta) * params.sigma
+    return volume + routing + setup
+
+
+class CommunicationModel(ABC):
+    """Maps (edge weight, source processor, destination processor) to a cost.
+
+    The same model object is used by the SA cost function (to score candidate
+    placements) and by the simulator (to delay message arrivals), which keeps
+    the optimizer's view of the machine consistent with the execution model.
+    """
+
+    @abstractmethod
+    def cost(self, machine, weight: float, src_proc: int, dst_proc: int) -> float:
+        """Effective time to move one message of per-link weight *weight*."""
+
+    @property
+    def enabled(self) -> bool:
+        """False when the model ignores communication entirely."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class LinearCommModel(CommunicationModel):
+    """The paper's equation-4 cost model (distance–volume + routing + setup)."""
+
+    def cost(self, machine, weight: float, src_proc: int, dst_proc: int) -> float:
+        same = src_proc == dst_proc
+        distance = 0 if same else machine.distance(src_proc, dst_proc)
+        return effective_comm_cost(weight, distance, same, machine.params)
+
+
+class ZeroCommModel(CommunicationModel):
+    """Communication-free model used for the "w/o comm" experiments."""
+
+    def cost(self, machine, weight: float, src_proc: int, dst_proc: int) -> float:
+        return 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return False

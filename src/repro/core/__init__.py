@@ -1,0 +1,32 @@
+"""The paper's primary contribution: staged simulated-annealing DAG scheduling.
+
+At every assignment epoch an :class:`~repro.core.packet.AnnealingPacket` is
+built from the ready tasks and the idle processors; a short simulated
+annealing run (:class:`~repro.core.packet_annealer.PacketAnnealer`) explores
+partial mappings of ready tasks onto idle processors under the normalized
+load-balancing + communication cost of :mod:`repro.core.cost` (equations 3–6)
+and the move/swap neighbourhood of :mod:`repro.core.moves`; the best mapping
+found becomes the epoch's assignment.  The whole staged policy is exposed as
+:class:`~repro.core.sa_scheduler.SAScheduler`, a drop-in
+:class:`~repro.schedulers.base.SchedulingPolicy`.
+"""
+
+from repro.core.config import SAConfig
+from repro.core.packet import AnnealingPacket, PacketMapping
+from repro.core.cost import PacketCostFunction, CostBreakdown
+from repro.core.moves import propose_move
+from repro.core.packet_annealer import PacketAnnealer, PacketAnnealingOutcome
+from repro.core.sa_scheduler import SAScheduler, PacketStats
+
+__all__ = [
+    "SAConfig",
+    "AnnealingPacket",
+    "PacketMapping",
+    "PacketCostFunction",
+    "CostBreakdown",
+    "propose_move",
+    "PacketAnnealer",
+    "PacketAnnealingOutcome",
+    "SAScheduler",
+    "PacketStats",
+]

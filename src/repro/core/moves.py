@@ -1,0 +1,87 @@
+"""The mapping scheme: random moves over packet mappings (paper §5 step 2a).
+
+At each proposal the algorithm "arbitrarily selects a task ``t_i`` and a
+processor ``P_j`` with ``P_j != m_i``":
+
+* if ``P_j`` is idle (holds no packet task), ``t_i`` is (re)assigned to
+  ``P_j`` — possibly removing it from another processor, and possibly
+  selecting a task that previously was not selected at all;
+* if ``P_j`` is busy with another packet task ``t_j``, the two tasks exchange
+  processors (and if ``t_i`` was unselected, ``t_j`` becomes unselected —
+  the swap then acts as a replacement).
+
+A third elementary move — dropping a selected task back to the unselected
+pool — is included with small probability so the chain can also reduce the
+number of selected tasks; without it, mappings seeded with a full selection
+could never explore partial selections.  This keeps the neighbourhood
+irreducible over the whole state space of partial injective mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.packet import AnnealingPacket, PacketMapping
+
+__all__ = ["propose_move"]
+
+TaskId = Hashable
+ProcId = int
+
+#: Probability of the "drop a selected task" move.  Small: the balancing term
+#: always prefers more selected tasks, so drops are usually rejected anyway,
+#: but offering them keeps the move set complete.
+_DROP_PROBABILITY = 0.05
+
+
+def propose_move(packet: AnnealingPacket, mapping: PacketMapping, rng) -> PacketMapping:
+    """Return a perturbed copy of *mapping* (never the same object).
+
+    The move is drawn uniformly over (task, processor) pairs as described in
+    the paper; degenerate packets (single task on a single processor) may
+    yield a mapping equal in value to the input, which the annealer treats as
+    a zero-delta proposal.
+    """
+    new = mapping.copy()
+    n_ready = packet.n_ready
+    n_idle = packet.n_idle
+    if n_ready == 0 or n_idle == 0:
+        new.last_change = []
+        return new
+
+    # Occasionally drop a selected task (see module docstring).
+    if new.n_assigned > 0 and rng.random() < _DROP_PROBABILITY:
+        tasks = new.selected_tasks()
+        victim = tasks[int(rng.integers(0, len(tasks)))]
+        old = new.processor_of(victim)
+        new.unassign(victim)
+        new.last_change = [(victim, old, None)]
+        return new
+
+    task = packet.ready_tasks[int(rng.integers(0, n_ready))]
+    current_proc = new.processor_of(task)
+
+    # Choose a processor different from the task's current one (if any).
+    candidates = [p for p in packet.idle_processors if p != current_proc]
+    if not candidates:
+        # Single processor and the task already sits on it: no alternative
+        # placement exists; return the copy unchanged (zero-delta proposal).
+        new.last_change = []
+        return new
+    proc = candidates[int(rng.integers(0, len(candidates)))]
+
+    occupant = new.task_on(proc)
+    if occupant is None:
+        # Processor is free: move (or newly select) the task onto it.
+        new.assign(task, proc)
+        new.last_change = [(task, current_proc, proc)]
+    elif current_proc is None:
+        # Task was unselected and the processor is busy: replace the occupant.
+        new.unassign(occupant)
+        new.assign(task, proc)
+        new.last_change = [(occupant, proc, None), (task, None, proc)]
+    else:
+        # Both assigned: exchange their processors.
+        new.swap(task, occupant)
+        new.last_change = [(task, current_proc, proc), (occupant, proc, current_proc)]
+    return new

@@ -1,0 +1,179 @@
+"""Annealing packets and packet mappings.
+
+An *annealing packet* (paper §4.1) is the pair (ready tasks, idle processors)
+formed at an assignment epoch.  A *packet mapping* is a partial, injective
+assignment of ready tasks to idle processors — the state space the per-packet
+annealer explores.  Since a processor can start at most one task at the
+epoch, at most ``min(n_ready, n_idle)`` tasks can be selected; unselected
+tasks roll over to the next packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import SchedulingError
+
+__all__ = ["AnnealingPacket", "PacketMapping"]
+
+TaskId = Hashable
+ProcId = int
+
+
+@dataclass(frozen=True)
+class AnnealingPacket:
+    """The raw material of one assignment epoch.
+
+    Attributes
+    ----------
+    time:
+        The epoch time.
+    ready_tasks:
+        Ready (unassigned, all-predecessors-finished) tasks, in deterministic
+        order.
+    idle_processors:
+        Idle processors, in increasing index order.
+    levels:
+        Task level ``n_i`` for each ready task.
+    predecessor_placement:
+        For each ready task, the list of ``(pred_task, pred_processor,
+        comm_weight)`` triples over its already-placed predecessors.  This is
+        all the communication information the packet cost needs, so the cost
+        function never has to touch the full graph during annealing.
+    """
+
+    time: float
+    ready_tasks: Tuple[TaskId, ...]
+    idle_processors: Tuple[ProcId, ...]
+    levels: Mapping[TaskId, float]
+    predecessor_placement: Mapping[TaskId, Tuple[Tuple[TaskId, ProcId, float], ...]]
+
+    @property
+    def n_ready(self) -> int:
+        return len(self.ready_tasks)
+
+    @property
+    def n_idle(self) -> int:
+        return len(self.idle_processors)
+
+    @property
+    def n_assignable(self) -> int:
+        """At most one task can start per idle processor."""
+        return min(self.n_ready, self.n_idle)
+
+    @classmethod
+    def from_context(cls, ctx) -> "AnnealingPacket":
+        """Build a packet from a :class:`~repro.schedulers.base.PacketContext`."""
+        placement: Dict[TaskId, Tuple[Tuple[TaskId, ProcId, float], ...]] = {}
+        for task in ctx.ready_tasks:
+            entries = []
+            for pred in ctx.graph.predecessors(task):
+                proc = ctx.task_processor.get(pred)
+                if proc is None:
+                    # Predecessor not placed (should not happen for a ready task,
+                    # but stay defensive for synthetic contexts in tests).
+                    continue
+                entries.append((pred, proc, ctx.graph.comm(pred, task)))
+            placement[task] = tuple(entries)
+        return cls(
+            time=ctx.time,
+            ready_tasks=tuple(ctx.ready_tasks),
+            idle_processors=tuple(ctx.idle_processors),
+            levels={t: ctx.levels[t] for t in ctx.ready_tasks},
+            predecessor_placement=placement,
+        )
+
+
+class PacketMapping:
+    """A partial injective mapping of a packet's ready tasks onto its idle processors.
+
+    The mapping is stored in both directions (task → processor and processor
+    → task) so that moves and cost evaluations are O(1).  Instances are
+    treated as immutable by the annealer: every move produces a copy.
+
+    ``last_change`` records the per-task placement changes of the most recent
+    move applied to this copy (``(task, old_proc, new_proc)`` triples, where
+    ``None`` stands for "not selected").  The packet cost function uses it to
+    evaluate cost changes incrementally instead of rescoring the whole
+    mapping on every proposal.
+    """
+
+    __slots__ = ("task_to_proc", "proc_to_task", "last_change")
+
+    def __init__(
+        self,
+        task_to_proc: Optional[Dict[TaskId, ProcId]] = None,
+    ) -> None:
+        self.task_to_proc: Dict[TaskId, ProcId] = dict(task_to_proc or {})
+        self.proc_to_task: Dict[ProcId, TaskId] = {}
+        self.last_change: Optional[List[tuple]] = None
+        for task, proc in self.task_to_proc.items():
+            if proc in self.proc_to_task:
+                raise SchedulingError(
+                    f"processor {proc!r} assigned to both {self.proc_to_task[proc]!r} and {task!r}"
+                )
+            self.proc_to_task[proc] = task
+
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "PacketMapping":
+        new = PacketMapping.__new__(PacketMapping)
+        new.task_to_proc = dict(self.task_to_proc)
+        new.proc_to_task = dict(self.proc_to_task)
+        new.last_change = None
+        return new
+
+    @property
+    def n_assigned(self) -> int:
+        return len(self.task_to_proc)
+
+    def processor_of(self, task: TaskId) -> Optional[ProcId]:
+        return self.task_to_proc.get(task)
+
+    def task_on(self, proc: ProcId) -> Optional[TaskId]:
+        return self.proc_to_task.get(proc)
+
+    def is_selected(self, task: TaskId) -> bool:
+        """The paper's selection indicator ``s(i)``."""
+        return task in self.task_to_proc
+
+    def selected_tasks(self) -> List[TaskId]:
+        return list(self.task_to_proc.keys())
+
+    # ------------------------------------------------------------------ #
+    # In-place mutations used by the move generator (on copies only)
+    # ------------------------------------------------------------------ #
+    def unassign(self, task: TaskId) -> None:
+        proc = self.task_to_proc.pop(task, None)
+        if proc is not None:
+            del self.proc_to_task[proc]
+
+    def assign(self, task: TaskId, proc: ProcId) -> None:
+        """Place *task* on *proc*; both must currently be free of each other."""
+        if proc in self.proc_to_task:
+            raise SchedulingError(f"processor {proc!r} already holds a task")
+        self.unassign(task)
+        self.task_to_proc[task] = proc
+        self.proc_to_task[proc] = task
+
+    def swap(self, task_a: TaskId, task_b: TaskId) -> None:
+        """Exchange the processors of two currently-assigned tasks."""
+        proc_a = self.task_to_proc.get(task_a)
+        proc_b = self.task_to_proc.get(task_b)
+        if proc_a is None or proc_b is None:
+            raise SchedulingError("swap requires both tasks to be assigned")
+        self.task_to_proc[task_a], self.task_to_proc[task_b] = proc_b, proc_a
+        self.proc_to_task[proc_a], self.proc_to_task[proc_b] = task_b, task_a
+
+    # ------------------------------------------------------------------ #
+    def as_dict(self) -> Dict[TaskId, ProcId]:
+        """Plain ``{task: processor}`` dictionary (what the simulator consumes)."""
+        return dict(self.task_to_proc)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PacketMapping):
+            return NotImplemented
+        return self.task_to_proc == other.task_to_proc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PacketMapping({self.task_to_proc!r})"

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch a single base class.  More specific subclasses are raised by the
+individual subsystems (task graphs, machines, schedulers, simulator).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TaskGraphError",
+    "CycleError",
+    "UnknownTaskError",
+    "MachineError",
+    "TopologyError",
+    "SchedulingError",
+    "SimulationError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class TaskGraphError(ReproError):
+    """Raised for malformed task graphs (bad durations, weights, edges)."""
+
+
+class CycleError(TaskGraphError):
+    """Raised when a task graph that must be acyclic contains a cycle."""
+
+
+class UnknownTaskError(TaskGraphError, KeyError):
+    """Raised when a task identifier is not present in the graph."""
+
+
+class MachineError(ReproError):
+    """Raised for invalid machine / host-configuration descriptions."""
+
+
+class TopologyError(MachineError):
+    """Raised for malformed interconnection topologies."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduling policy produces an invalid assignment."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator reaches an invalid state."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid configuration values (SA parameters, weights, ...)."""

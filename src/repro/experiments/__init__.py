@@ -1,0 +1,35 @@
+"""End-to-end reproductions of every table and figure of the paper.
+
+Each module regenerates one artifact:
+
+* :mod:`~repro.experiments.table1` — task-graph characteristics (Table 1),
+* :mod:`~repro.experiments.table2` — SA vs HLF speedups for 4 programs × 3
+  architectures × {w/o comm, with comm} (Table 2),
+* :mod:`~repro.experiments.figure1` — per-packet cost trajectories (Figure 1),
+* :mod:`~repro.experiments.figure2` — Gantt chart of the Newton–Euler start
+  on the 8-processor hypercube (Figure 2).
+
+The benchmark harness under ``benchmarks/`` simply calls these functions, so
+``python -m repro.experiments.runner`` and ``pytest benchmarks/`` print the
+same numbers.
+"""
+
+from repro.experiments.table1 import Table1Row, run_table1, format_table1
+from repro.experiments.table2 import Table2Cell, Table2Block, run_table2, format_table2
+from repro.experiments.figure1 import run_figure1, format_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "Table1Row",
+    "run_table1",
+    "format_table1",
+    "Table2Cell",
+    "Table2Block",
+    "run_table2",
+    "format_table2",
+    "run_figure1",
+    "format_figure1",
+    "run_figure2",
+    "run_all",
+]

@@ -1,0 +1,104 @@
+"""Figure 1 — cost trajectories of one Newton–Euler annealing packet.
+
+The paper plots the level cost ``F_b``, the communication cost ``F_c`` and
+the weighted total ``F_tot`` of one annealing packet of the Newton–Euler
+program on the 8-node hypercube with equal weights ``w_b = w_c = 0.5``.  Both
+component costs decrease as the packet anneals.  This module records the same
+three curves and renders them as a compact ASCII chart plus summary
+statistics (the §6a narrative: number of packets, average candidates and free
+processors per packet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.trajectory import PacketTrajectory, record_packet_trajectory
+from repro.comm.model import LinearCommModel
+from repro.core.config import SAConfig
+from repro.core.sa_scheduler import SAScheduler
+from repro.machine.machine import Machine
+from repro.sim.engine import simulate
+from repro.workloads.suite import paper_program
+
+__all__ = ["Figure1Result", "run_figure1", "format_figure1"]
+
+
+@dataclass
+class Figure1Result:
+    """The trajectory of the selected packet plus run-level packet statistics."""
+
+    trajectory: PacketTrajectory
+    n_packets: int
+    average_candidates: float
+    average_idle_processors: float
+
+
+def run_figure1(
+    seed: int = 0,
+    program: str = "NE",
+    machine: Optional[Machine] = None,
+    config: Optional[SAConfig] = None,
+) -> Figure1Result:
+    """Record the Figure-1 trajectory (default: Newton–Euler on the 8-node hypercube)."""
+    graph = paper_program(program, seed=seed)
+    machine = machine if machine is not None else Machine.hypercube(3)
+    config = config if config is not None else SAConfig.paper_defaults(seed=seed)
+
+    trajectory = record_packet_trajectory(graph, machine, config=config)
+
+    # Re-run once more (cheap) to gather the packet statistics of §6a with the
+    # exact paper configuration (HLF-seeded packets, no trajectory recording).
+    scheduler = SAScheduler(SAConfig.paper_defaults(seed=seed))
+    simulate(graph, machine, scheduler, comm_model=LinearCommModel(), record_trace=False)
+    return Figure1Result(
+        trajectory=trajectory,
+        n_packets=scheduler.n_packets,
+        average_candidates=scheduler.average_candidates_per_packet(),
+        average_idle_processors=scheduler.average_idle_processors_per_packet(),
+    )
+
+
+def _ascii_series(values: List[float], width: int = 72, height: int = 12) -> List[str]:
+    """Downsample *values* to *width* columns and render an ASCII line chart."""
+    if not values:
+        return ["(no data)"]
+    n = len(values)
+    cols = min(width, n)
+    sampled = [values[int(i * (n - 1) / max(cols - 1, 1))] for i in range(cols)]
+    vmin, vmax = min(sampled), max(sampled)
+    span = vmax - vmin or 1.0
+    grid = [[" "] * cols for _ in range(height)]
+    for c, v in enumerate(sampled):
+        r = height - 1 - int((v - vmin) / span * (height - 1))
+        grid[r][c] = "*"
+    lines = ["".join(row) for row in grid]
+    lines.append(f"min={vmin:.3f}  max={vmax:.3f}  samples={n}")
+    return lines
+
+
+def format_figure1(result: Optional[Figure1Result] = None, seed: int = 0) -> str:
+    """Render the Figure-1 curves and packet statistics as plain text."""
+    result = result if result is not None else run_figure1(seed=seed)
+    traj = result.trajectory
+    parts = [
+        "Figure 1 - cost trajectories of one annealing packet "
+        f"(packet #{traj.packet_index} at t={traj.packet_time:.1f}, "
+        f"{traj.n_ready} candidates, {traj.n_idle} idle processors)",
+        "",
+        "Level (balancing) cost F_b:",
+        *_ascii_series(traj.balance_cost),
+        "",
+        "Communication cost F_c:",
+        *_ascii_series(traj.communication_cost),
+        "",
+        "Total (normalized, weighted) cost F_tot:",
+        *_ascii_series(traj.total_cost),
+        "",
+        "Packet statistics over the whole run (paper narrative, section 6a):",
+        f"  annealing packets:              {result.n_packets}",
+        f"  avg. candidates per packet:     {result.average_candidates:.2f}",
+        f"  avg. idle processors per packet:{result.average_idle_processors:.2f}",
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,51 @@
+"""Run every paper experiment and print the results.
+
+``python -m repro.experiments.runner`` regenerates Table 1, Table 2, Figure 1
+and Figure 2 in one go.  The benchmark harness under ``benchmarks/`` calls
+the same per-experiment functions, so the two entry points always agree.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.experiments.figure1 import format_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.table1 import format_table1
+from repro.experiments.table2 import format_table2
+
+__all__ = ["run_all", "main"]
+
+
+def run_all(seed: int = 0, programs: Optional[List[str]] = None) -> str:
+    """Regenerate every table and figure and return the combined report text."""
+    sections = [
+        format_table1(seed=seed),
+        "",
+        format_table2(seed=seed, programs=programs),
+        "",
+        format_figure1(seed=seed),
+        "",
+        "Figure 2 - Gantt chart (detail) of Newton-Euler on the 8-processor hypercube:",
+        run_figure2(seed=seed).chart,
+    ]
+    return "\n".join(sections)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0, help="seed for workloads and SA")
+    parser.add_argument(
+        "--programs",
+        nargs="*",
+        default=None,
+        help="restrict Table 2 to these program keys (NE GJ FFT MM)",
+    )
+    args = parser.parse_args(argv)
+    print(run_all(seed=args.seed, programs=args.programs))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""Table 1 — principal program characteristics.
+
+For each of the four paper programs the generated task graph's
+characteristics (task count, mean duration, mean communication weight, C/C
+ratio, maximum speedup) are measured and placed next to the values reported
+in the paper, so the calibration error is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.taskgraph.properties import graph_properties
+from repro.utils.tabulate import format_table
+from repro.workloads.suite import PAPER_PROGRAMS, PaperProgramSpec
+
+__all__ = ["Table1Row", "run_table1", "format_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Measured vs paper-reported characteristics of one program."""
+
+    program: str
+    n_tasks: int
+    avg_duration: float
+    avg_comm: float
+    cc_ratio_percent: float
+    max_speedup: float
+    paper_n_tasks: int
+    paper_avg_duration: float
+    paper_avg_comm: float
+    paper_cc_ratio_percent: float
+    paper_max_speedup: float
+
+
+def _measure(spec: PaperProgramSpec, seed: int) -> Table1Row:
+    graph = spec.build(seed=seed)
+    props = graph_properties(graph)
+    return Table1Row(
+        program=spec.display_name,
+        n_tasks=props.n_tasks,
+        avg_duration=props.average_duration,
+        avg_comm=props.average_communication,
+        cc_ratio_percent=100.0 * props.cc_ratio,
+        max_speedup=props.max_speedup,
+        paper_n_tasks=spec.paper_n_tasks,
+        paper_avg_duration=spec.paper_avg_duration,
+        paper_avg_comm=spec.paper_avg_comm,
+        paper_cc_ratio_percent=spec.paper_cc_ratio_percent,
+        paper_max_speedup=spec.paper_max_speedup,
+    )
+
+
+def run_table1(seed: int = 0) -> List[Table1Row]:
+    """Measure every paper program and return one :class:`Table1Row` per program."""
+    return [_measure(spec, seed) for spec in PAPER_PROGRAMS.values()]
+
+
+def format_table1(rows: List[Table1Row] | None = None, seed: int = 0) -> str:
+    """Render Table 1 with measured and paper values side by side."""
+    rows = rows if rows is not None else run_table1(seed=seed)
+    headers = [
+        "Program",
+        "Tasks",
+        "(paper)",
+        "Avg.Dur",
+        "(paper)",
+        "Avg.Comm",
+        "(paper)",
+        "C/C %",
+        "(paper)",
+        "MaxSp",
+        "(paper)",
+    ]
+    table_rows = [
+        [
+            r.program,
+            r.n_tasks,
+            r.paper_n_tasks,
+            r.avg_duration,
+            r.paper_avg_duration,
+            r.avg_comm,
+            r.paper_avg_comm,
+            r.cc_ratio_percent,
+            r.paper_cc_ratio_percent,
+            r.max_speedup,
+            r.paper_max_speedup,
+        ]
+        for r in rows
+    ]
+    return format_table(
+        table_rows,
+        headers=headers,
+        title="Table 1 - principal program characteristics (measured vs paper)",
+    )

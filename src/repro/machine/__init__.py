@@ -1,0 +1,22 @@
+"""Host-configuration substrate: processors, interconnection networks, parameters.
+
+The paper's host configuration ``HC = {P, L}`` is a set of processors plus a
+symmetric point-to-point interconnection matrix ``L`` (bus/star, hypercube or
+ring in the experiments).  :class:`~repro.machine.machine.Machine` bundles a
+:class:`~repro.machine.topology.Topology` with the per-message overhead
+parameters (:class:`~repro.machine.params.CommParams`) and precomputes the
+hop-distance matrix and shortest routing paths.
+"""
+
+from repro.machine.params import CommParams
+from repro.machine.topology import Topology
+from repro.machine.machine import Machine
+from repro.machine.routing import all_pairs_hop_distance, shortest_path
+
+__all__ = [
+    "CommParams",
+    "Topology",
+    "Machine",
+    "all_pairs_hop_distance",
+    "shortest_path",
+]

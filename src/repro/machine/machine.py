@@ -1,0 +1,139 @@
+"""The :class:`Machine`: a topology plus communication parameters.
+
+A machine is the paper's host configuration ``HC = {P, L}`` together with the
+message-overhead parameters (``sigma``, ``tau``, bandwidth).  It precomputes
+and caches the hop-distance matrix and, on demand, the shortest routing paths
+used by the contention-aware simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import MachineError
+from repro.machine.params import CommParams
+from repro.machine.routing import all_pairs_hop_distance, shortest_path
+from repro.machine.topology import Topology
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A multicomputer: processors, links and message-passing parameters.
+
+    Parameters
+    ----------
+    topology:
+        The interconnection network.  Must be connected so that every task
+        placement is feasible.
+    params:
+        Per-message overhead and bandwidth parameters; defaults to the
+        paper's values (σ = 7 µs, τ = 9 µs, 10 Mbit/s, 40-bit words).
+    name:
+        Optional display name; defaults to the topology name.
+
+    Examples
+    --------
+    >>> m = Machine.hypercube(3)
+    >>> m.n_processors
+    8
+    >>> m.distance(0, 7)   # opposite corners of the 3-cube
+    3
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        params: Optional[CommParams] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if not isinstance(topology, Topology):
+            raise MachineError(f"topology must be a Topology, got {type(topology).__name__}")
+        if not topology.is_connected():
+            raise MachineError(
+                f"topology {topology.name!r} is not connected; every processor must be reachable"
+            )
+        self.topology = topology
+        self.params = params if params is not None else CommParams.paper_defaults()
+        self.name = name or topology.name
+        self._distance = all_pairs_hop_distance(topology)
+        self._path_cache: Dict[Tuple[int, int], List[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Processor queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_processors(self) -> int:
+        return self.topology.n_processors
+
+    @property
+    def processors(self) -> List[int]:
+        """Processor identifiers ``0 .. N_p - 1``."""
+        return list(range(self.n_processors))
+
+    def distance(self, i: int, j: int) -> int:
+        """Hop distance ``d(i, j)`` between processors *i* and *j*."""
+        self.topology._check_proc(i)
+        self.topology._check_proc(j)
+        return int(self._distance[i, j])
+
+    def distance_matrix(self) -> np.ndarray:
+        """A copy of the full hop-distance matrix."""
+        return self._distance.copy()
+
+    @property
+    def diameter(self) -> int:
+        """The largest hop distance between any two processors."""
+        return int(self._distance.max())
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """One deterministic shortest processor path from *src* to *dst* (inclusive)."""
+        key = (src, dst)
+        if key not in self._path_cache:
+            self._path_cache[key] = shortest_path(self.topology, src, dst)
+        return list(self._path_cache[key])
+
+    def link_path(self, src: int, dst: int) -> List[Tuple[int, int]]:
+        """The undirected links (as sorted pairs) traversed from *src* to *dst*."""
+        nodes = self.route(src, dst)
+        return [tuple(sorted((nodes[k], nodes[k + 1]))) for k in range(len(nodes) - 1)]
+
+    # ------------------------------------------------------------------ #
+    # Constructors mirroring the paper's architectures
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def hypercube(cls, dimension: int, params: Optional[CommParams] = None) -> "Machine":
+        """The paper's architecture 1 with ``dimension = 3`` (8 processors)."""
+        return cls(Topology.hypercube(dimension), params)
+
+    @classmethod
+    def bus(cls, n_processors: int, params: Optional[CommParams] = None) -> "Machine":
+        """The paper's architecture 2: a bus (star) with *n_processors* nodes."""
+        return cls(Topology.bus(n_processors), params)
+
+    @classmethod
+    def ring(cls, n_processors: int, params: Optional[CommParams] = None) -> "Machine":
+        """The paper's architecture 3: a ring with *n_processors* nodes (9 in the paper)."""
+        return cls(Topology.ring(n_processors), params)
+
+    @classmethod
+    def fully_connected(cls, n_processors: int, params: Optional[CommParams] = None) -> "Machine":
+        return cls(Topology.fully_connected(n_processors), params)
+
+    @classmethod
+    def mesh(cls, rows: int, cols: int, params: Optional[CommParams] = None) -> "Machine":
+        return cls(Topology.mesh(rows, cols), params)
+
+    @classmethod
+    def paper_architectures(cls, params: Optional[CommParams] = None) -> Dict[str, "Machine"]:
+        """The three architectures of the paper's evaluation, keyed by display name."""
+        return {
+            "Hypercube (8p)": cls.hypercube(3, params),
+            "Bus (8p)": cls.bus(8, params),
+            "Ring (9p)": cls.ring(9, params),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Machine({self.name!r}, n_processors={self.n_processors}, diameter={self.diameter})"

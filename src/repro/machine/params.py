@@ -1,0 +1,98 @@
+"""Per-message communication overhead parameters.
+
+The paper characterizes message passing by two derived parameters (§4.2b):
+
+* ``sigma`` — the time to forward (send) one message: ``sigma = 2*S + O``
+* ``tau``   — the time to receive or to route one message: ``tau = 2*S + H + O``
+
+where ``S`` is the context-switch time (save + restore processor state),
+``O`` the output setup time (preparing the I/O hardware) and ``H`` the header
+control time (deciding whether an incoming message must be forwarded).
+
+For the bit-serial linked hypercube systems of the paper ``O = 3 µs`` and
+``S = H = 2 µs``, giving ``sigma = 7 µs`` and ``tau = 9 µs``.  Links run at
+``BW = 10 Mbit/s`` and one variable is 40 bits, so transferring one variable
+over one link takes 4 µs — that is the unit in which the workload generators
+express their edge weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["CommParams"]
+
+
+@dataclass(frozen=True)
+class CommParams:
+    """Communication overhead and bandwidth parameters (times in microseconds).
+
+    Attributes
+    ----------
+    context_switch:
+        ``S`` — time to save and restore the processor state (µs).
+    output_setup:
+        ``O`` — time to prepare the I/O hardware for an outgoing message (µs).
+    header_control:
+        ``H`` — time to inspect an incoming header and decide on routing (µs).
+    bandwidth_bits_per_us:
+        Link bandwidth in bits per microsecond (10 Mbit/s = 10 bits/µs).
+    bits_per_word:
+        Number of bits of one program variable (40 in the paper).
+    """
+
+    context_switch: float = 2.0
+    output_setup: float = 3.0
+    header_control: float = 2.0
+    bandwidth_bits_per_us: float = 10.0
+    bits_per_word: float = 40.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("context_switch", self.context_switch)
+        check_non_negative("output_setup", self.output_setup)
+        check_non_negative("header_control", self.header_control)
+        check_positive("bandwidth_bits_per_us", self.bandwidth_bits_per_us)
+        check_positive("bits_per_word", self.bits_per_word)
+
+    @property
+    def sigma(self) -> float:
+        """Time to forward (send) one message: ``2*S + O`` (µs)."""
+        return 2.0 * self.context_switch + self.output_setup
+
+    @property
+    def tau(self) -> float:
+        """Time to receive or route one message: ``2*S + H + O`` (µs)."""
+        return 2.0 * self.context_switch + self.header_control + self.output_setup
+
+    def word_transfer_time(self, n_words: float = 1.0) -> float:
+        """Time (µs) to push *n_words* program variables over a single link."""
+        check_non_negative("n_words", n_words)
+        return n_words * self.bits_per_word / self.bandwidth_bits_per_us
+
+    @classmethod
+    def paper_defaults(cls) -> "CommParams":
+        """The exact parameter set used in the paper's experiments."""
+        return cls(
+            context_switch=2.0,
+            output_setup=3.0,
+            header_control=2.0,
+            bandwidth_bits_per_us=10.0,
+            bits_per_word=40.0,
+        )
+
+    @classmethod
+    def zero_overhead(cls) -> "CommParams":
+        """Parameters with no per-message overhead (pure bandwidth model).
+
+        Useful for isolating the distance–volume component of the cost in
+        ablation experiments.
+        """
+        return cls(
+            context_switch=0.0,
+            output_setup=0.0,
+            header_control=0.0,
+            bandwidth_bits_per_us=10.0,
+            bits_per_word=40.0,
+        )

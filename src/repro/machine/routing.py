@@ -1,0 +1,102 @@
+"""Shortest-path routing over interconnection topologies.
+
+The paper defines the distance ``d(i, j)`` between two processors as the
+number of links on the shortest path joining them, and assumes messages are
+forwarded hop by hop along such a path (store-and-forward routing with a
+per-hop routing overhead ``tau`` on intermediate processors).
+
+This module provides BFS-based all-pairs hop distances (vectorized over
+numpy adjacency matrices) and deterministic shortest-path extraction used by
+the contention-aware simulator to decide which links a message occupies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.machine.topology import Topology
+
+__all__ = ["all_pairs_hop_distance", "shortest_path", "routing_table"]
+
+_UNREACHABLE = -1
+
+
+def all_pairs_hop_distance(topology: Topology) -> np.ndarray:
+    """Return the ``N_p x N_p`` integer hop-distance matrix of *topology*.
+
+    Unreachable pairs get distance ``-1``.  The diagonal is zero.  The
+    computation is a BFS from every source; adjacency lookups are vectorized
+    with numpy boolean indexing, which is fast enough for the machine sizes
+    considered here (tens to a few hundred processors).
+    """
+    adj = topology.adjacency()
+    n = topology.n_processors
+    dist = np.full((n, n), _UNREACHABLE, dtype=np.int64)
+    for src in range(n):
+        dist[src, src] = 0
+        frontier = np.zeros(n, dtype=bool)
+        frontier[src] = True
+        visited = frontier.copy()
+        hops = 0
+        while frontier.any():
+            hops += 1
+            # all nodes adjacent to the frontier that have not been visited yet
+            reachable = adj[frontier].any(axis=0) & ~visited
+            if not reachable.any():
+                break
+            dist[src, reachable] = hops
+            visited |= reachable
+            frontier = reachable
+    return dist
+
+
+def shortest_path(topology: Topology, src: int, dst: int) -> List[int]:
+    """Return one shortest processor path from *src* to *dst*, inclusive.
+
+    The path is deterministic: BFS explores neighbours in increasing index
+    order, so ties are always broken towards lower-numbered processors.
+    Raises :class:`TopologyError` when no path exists.
+    """
+    n = topology.n_processors
+    if not (0 <= src < n) or not (0 <= dst < n):
+        raise TopologyError(f"processor index out of range: src={src}, dst={dst}")
+    if src == dst:
+        return [src]
+    parent: Dict[int, int] = {src: src}
+    queue: deque[int] = deque([src])
+    while queue:
+        u = queue.popleft()
+        for v in topology.neighbors(u):
+            if v not in parent:
+                parent[v] = u
+                if v == dst:
+                    queue.clear()
+                    break
+                queue.append(v)
+    if dst not in parent:
+        raise TopologyError(
+            f"no path between processors {src} and {dst} in topology {topology.name!r}"
+        )
+    path = [dst]
+    while path[-1] != src:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def routing_table(topology: Topology) -> Dict[Tuple[int, int], List[int]]:
+    """Precompute shortest paths for every ordered processor pair.
+
+    Only used by the contention-aware simulator; the latency-only model needs
+    just the distance matrix.
+    """
+    table: Dict[Tuple[int, int], List[int]] = {}
+    n = topology.n_processors
+    for src in range(n):
+        for dst in range(n):
+            table[(src, dst)] = shortest_path(topology, src, dst)
+    return table

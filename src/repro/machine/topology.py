@@ -1,0 +1,256 @@
+"""Interconnection-network topologies.
+
+A :class:`Topology` is the processor interconnection matrix ``L`` of the
+paper: ``L[i, j] = 1`` when processors ``P_i`` and ``P_j`` are joined by a
+bidirectional point-to-point link.  Constructors are provided for the three
+topologies of the paper's experiments (hypercube, bus/star, ring) and for a
+number of other standard networks used by the extension benchmarks (mesh,
+torus, binary tree, linear array, fully connected, custom adjacency).
+
+The *bus* of the paper is modelled as a star: the authors describe it as "a
+bus (star) topology with 8 processors", i.e. processor 0 acts as the hub
+through which every message travels, which makes all non-hub processors two
+hops apart and serializes traffic through the hub's links.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """A symmetric, loop-free interconnection network over ``n`` processors.
+
+    Parameters
+    ----------
+    adjacency:
+        Square boolean (or 0/1) matrix; ``adjacency[i, j]`` true means a
+        bidirectional link between processors *i* and *j*.  The matrix is
+        symmetrized and the diagonal is cleared.
+    name:
+        Human-readable topology name used in reports.
+    """
+
+    def __init__(self, adjacency, name: str = "custom") -> None:
+        mat = np.asarray(adjacency, dtype=bool)
+        if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+            raise TopologyError(f"adjacency must be a square matrix, got shape {mat.shape}")
+        if mat.shape[0] < 1:
+            raise TopologyError("topology needs at least one processor")
+        mat = mat | mat.T
+        np.fill_diagonal(mat, False)
+        self._adj = mat
+        self.name = str(name)
+
+    # ------------------------------------------------------------------ #
+    # Basic queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n_processors(self) -> int:
+        """Number of processors ``N_p``."""
+        return int(self._adj.shape[0])
+
+    def adjacency(self) -> np.ndarray:
+        """Return a copy of the boolean adjacency matrix ``L``."""
+        return self._adj.copy()
+
+    def has_link(self, i: int, j: int) -> bool:
+        """True when a direct link joins processors *i* and *j*."""
+        self._check_proc(i)
+        self._check_proc(j)
+        return bool(self._adj[i, j])
+
+    def links(self) -> List[Tuple[int, int]]:
+        """All undirected links as sorted ``(i, j)`` pairs with ``i < j``."""
+        idx = np.argwhere(np.triu(self._adj, k=1))
+        return [(int(i), int(j)) for i, j in idx]
+
+    @property
+    def n_links(self) -> int:
+        return len(self.links())
+
+    def neighbors(self, i: int) -> List[int]:
+        """Processors directly linked to processor *i*."""
+        self._check_proc(i)
+        return [int(j) for j in np.flatnonzero(self._adj[i])]
+
+    def degree(self, i: int) -> int:
+        self._check_proc(i)
+        return int(self._adj[i].sum())
+
+    def is_connected(self) -> bool:
+        """True when every processor can reach every other processor."""
+        n = self.n_processors
+        if n == 1:
+            return True
+        seen = np.zeros(n, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        while stack:
+            u = stack.pop()
+            for v in np.flatnonzero(self._adj[u]):
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(int(v))
+        return bool(seen.all())
+
+    def _check_proc(self, i: int) -> None:
+        if not (0 <= i < self.n_processors):
+            raise TopologyError(
+                f"processor index {i} out of range [0, {self.n_processors})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Topology({self.name!r}, n_processors={self.n_processors}, n_links={self.n_links})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return self._adj.shape == other._adj.shape and bool(np.array_equal(self._adj, other._adj))
+
+    def __hash__(self) -> int:
+        return hash((self.n_processors, tuple(self.links())))
+
+    # ------------------------------------------------------------------ #
+    # Standard constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_links(cls, n_processors: int, links: Iterable[Tuple[int, int]], name: str = "custom") -> "Topology":
+        """Build a topology from an explicit link list."""
+        if n_processors < 1:
+            raise TopologyError("topology needs at least one processor")
+        adj = np.zeros((n_processors, n_processors), dtype=bool)
+        for i, j in links:
+            if not (0 <= i < n_processors and 0 <= j < n_processors):
+                raise TopologyError(f"link ({i}, {j}) references a missing processor")
+            if i == j:
+                raise TopologyError(f"self-link on processor {i} is not allowed")
+            adj[i, j] = adj[j, i] = True
+        return cls(adj, name)
+
+    @classmethod
+    def fully_connected(cls, n_processors: int) -> "Topology":
+        """Every pair of processors joined by a dedicated link (crossbar)."""
+        if n_processors < 1:
+            raise TopologyError("need at least one processor")
+        adj = np.ones((n_processors, n_processors), dtype=bool)
+        np.fill_diagonal(adj, False)
+        return cls(adj, f"full-{n_processors}")
+
+    @classmethod
+    def hypercube(cls, dimension: int) -> "Topology":
+        """A ``2**dimension``-node binary hypercube (paper architecture 1 with dimension=3)."""
+        if dimension < 0:
+            raise TopologyError(f"hypercube dimension must be >= 0, got {dimension}")
+        n = 1 << dimension
+        adj = np.zeros((n, n), dtype=bool)
+        for node in range(n):
+            for bit in range(dimension):
+                other = node ^ (1 << bit)
+                adj[node, other] = True
+        return cls(adj, f"hypercube-{n}")
+
+    @classmethod
+    def ring(cls, n_processors: int) -> "Topology":
+        """A bidirectional ring (paper architecture 3 with 9 processors)."""
+        if n_processors < 1:
+            raise TopologyError("need at least one processor")
+        adj = np.zeros((n_processors, n_processors), dtype=bool)
+        if n_processors > 1:
+            for i in range(n_processors):
+                j = (i + 1) % n_processors
+                if i != j:
+                    adj[i, j] = adj[j, i] = True
+        return cls(adj, f"ring-{n_processors}")
+
+    @classmethod
+    def star(cls, n_processors: int, hub: int = 0) -> "Topology":
+        """A star: every processor linked to the *hub* processor only."""
+        if n_processors < 1:
+            raise TopologyError("need at least one processor")
+        if not (0 <= hub < n_processors):
+            raise TopologyError(f"hub {hub} out of range")
+        adj = np.zeros((n_processors, n_processors), dtype=bool)
+        for i in range(n_processors):
+            if i != hub:
+                adj[hub, i] = adj[i, hub] = True
+        return cls(adj, f"star-{n_processors}")
+
+    @classmethod
+    def bus(cls, n_processors: int) -> "Topology":
+        """The paper's "bus (star)" topology: a star with processor 0 as hub.
+
+        Messages between two non-hub processors travel two hops through the
+        hub, which both adds routing overhead and serializes traffic — the
+        behaviour the paper attributes to its bus architecture.
+        """
+        topo = cls.star(n_processors, hub=0)
+        topo.name = f"bus-{n_processors}"
+        return topo
+
+    @classmethod
+    def linear(cls, n_processors: int) -> "Topology":
+        """A linear (open chain) array of processors."""
+        if n_processors < 1:
+            raise TopologyError("need at least one processor")
+        adj = np.zeros((n_processors, n_processors), dtype=bool)
+        for i in range(n_processors - 1):
+            adj[i, i + 1] = adj[i + 1, i] = True
+        return cls(adj, f"linear-{n_processors}")
+
+    @classmethod
+    def mesh(cls, rows: int, cols: int) -> "Topology":
+        """A 2-D mesh of ``rows x cols`` processors (no wraparound)."""
+        if rows < 1 or cols < 1:
+            raise TopologyError("mesh dimensions must be >= 1")
+        n = rows * cols
+        adj = np.zeros((n, n), dtype=bool)
+
+        def pid(r: int, c: int) -> int:
+            return r * cols + c
+
+        for r in range(rows):
+            for c in range(cols):
+                if c + 1 < cols:
+                    adj[pid(r, c), pid(r, c + 1)] = adj[pid(r, c + 1), pid(r, c)] = True
+                if r + 1 < rows:
+                    adj[pid(r, c), pid(r + 1, c)] = adj[pid(r + 1, c), pid(r, c)] = True
+        return cls(adj, f"mesh-{rows}x{cols}")
+
+    @classmethod
+    def torus(cls, rows: int, cols: int) -> "Topology":
+        """A 2-D torus (mesh with wraparound links in both dimensions)."""
+        if rows < 1 or cols < 1:
+            raise TopologyError("torus dimensions must be >= 1")
+        n = rows * cols
+        adj = np.zeros((n, n), dtype=bool)
+
+        def pid(r: int, c: int) -> int:
+            return r * cols + c
+
+        for r in range(rows):
+            for c in range(cols):
+                right = pid(r, (c + 1) % cols)
+                down = pid((r + 1) % rows, c)
+                for other in (right, down):
+                    if other != pid(r, c):
+                        adj[pid(r, c), other] = adj[other, pid(r, c)] = True
+        return cls(adj, f"torus-{rows}x{cols}")
+
+    @classmethod
+    def binary_tree(cls, depth: int) -> "Topology":
+        """A complete binary tree with ``2**(depth+1) - 1`` processors."""
+        if depth < 0:
+            raise TopologyError(f"tree depth must be >= 0, got {depth}")
+        n = (1 << (depth + 1)) - 1
+        adj = np.zeros((n, n), dtype=bool)
+        for i in range(1, n):
+            parent = (i - 1) // 2
+            adj[i, parent] = adj[parent, i] = True
+        return cls(adj, f"btree-{n}")

@@ -1,0 +1,28 @@
+"""Scheduling policies.
+
+Every scheduler — the paper's simulated-annealing scheduler in
+:mod:`repro.core` and the list-scheduling baselines here — implements the
+:class:`~repro.schedulers.base.SchedulingPolicy` interface: at every
+assignment epoch the simulator hands the policy a
+:class:`~repro.schedulers.base.PacketContext` (ready tasks, idle processors,
+placement history) and the policy returns a partial mapping of ready tasks to
+idle processors.
+"""
+
+from repro.schedulers.base import PacketContext, SchedulingPolicy, validate_assignment
+from repro.schedulers.hlf import HLFScheduler
+from repro.schedulers.random_policy import RandomScheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.etf import ETFScheduler
+from repro.schedulers.lpt import LPTScheduler
+
+__all__ = [
+    "PacketContext",
+    "SchedulingPolicy",
+    "validate_assignment",
+    "HLFScheduler",
+    "RandomScheduler",
+    "FIFOScheduler",
+    "ETFScheduler",
+    "LPTScheduler",
+]

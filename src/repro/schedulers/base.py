@@ -1,0 +1,122 @@
+"""The scheduling-policy interface and the per-epoch packet context.
+
+The paper builds the schedule *online*: an assignment epoch occurs at time
+zero and whenever one or more processors become idle; at each epoch the
+scheduler sees the ready tasks and the idle processors and assigns at most one
+task to each idle processor.  Encoding that protocol as a
+:class:`SchedulingPolicy` lets the simulated-annealing scheduler and every
+list-scheduling baseline run under exactly the same execution semantics.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional
+
+from repro.comm.model import CommunicationModel, LinearCommModel
+from repro.exceptions import SchedulingError
+
+__all__ = ["PacketContext", "SchedulingPolicy", "validate_assignment"]
+
+TaskId = Hashable
+ProcId = int
+
+
+@dataclass
+class PacketContext:
+    """Everything a policy may consult at one assignment epoch.
+
+    Attributes
+    ----------
+    time:
+        Current simulation time (the epoch).
+    ready_tasks:
+        Tasks whose predecessors have all finished and that are not yet
+        assigned, in deterministic (graph insertion) order.
+    idle_processors:
+        Processors with no running or pending task, in increasing index order.
+    graph:
+        The task graph being scheduled.
+    machine:
+        The target machine.
+    levels:
+        Precomputed task levels ``n_i`` for the whole graph.
+    task_processor:
+        Placement history: processor of every task assigned so far (finished,
+        running or pending).  Policies use it to evaluate the communication
+        cost of placing a ready task near or far from its predecessors.
+    finish_times:
+        Completion time of every finished task (empty entries for unfinished
+        ones); available to communication-aware heuristics such as ETF.
+    comm_model:
+        The communication model in force (zero or linear), so policies can
+        score candidate placements consistently with the simulator.
+    processor_ready_time:
+        For every processor, the earliest time it could start a new task
+        (idle processors report the epoch time; busy ones their expected
+        availability).  Used by look-ahead heuristics.
+    """
+
+    time: float
+    ready_tasks: List[TaskId]
+    idle_processors: List[ProcId]
+    graph: "object"
+    machine: "object"
+    levels: Mapping[TaskId, float]
+    task_processor: Mapping[TaskId, ProcId]
+    finish_times: Mapping[TaskId, float] = field(default_factory=dict)
+    comm_model: CommunicationModel = field(default_factory=LinearCommModel)
+    processor_ready_time: Mapping[ProcId, float] = field(default_factory=dict)
+
+    @property
+    def n_ready(self) -> int:
+        return len(self.ready_tasks)
+
+    @property
+    def n_idle(self) -> int:
+        return len(self.idle_processors)
+
+
+def validate_assignment(ctx: PacketContext, assignment: Dict[TaskId, ProcId]) -> None:
+    """Check that *assignment* is legal for *ctx*; raise :class:`SchedulingError` otherwise.
+
+    A legal assignment maps a subset of the ready tasks injectively onto the
+    idle processors (at most one task per processor, no task or processor
+    outside the packet).
+    """
+    ready = set(ctx.ready_tasks)
+    idle = set(ctx.idle_processors)
+    seen_procs: set = set()
+    for task, proc in assignment.items():
+        if task not in ready:
+            raise SchedulingError(f"task {task!r} is not ready at t={ctx.time}")
+        if proc not in idle:
+            raise SchedulingError(f"processor {proc!r} is not idle at t={ctx.time}")
+        if proc in seen_procs:
+            raise SchedulingError(f"processor {proc!r} assigned more than one task")
+        seen_procs.add(proc)
+
+
+class SchedulingPolicy(ABC):
+    """Online scheduling policy invoked at every assignment epoch."""
+
+    #: Display name used in reports and benchmark tables.
+    name: str = "policy"
+
+    @abstractmethod
+    def assign(self, ctx: PacketContext) -> Dict[TaskId, ProcId]:
+        """Return a partial mapping ``{task_id: processor}`` for this epoch.
+
+        The mapping must satisfy :func:`validate_assignment`; tasks left out
+        remain ready and reappear in the next packet.  Returning an empty
+        mapping is legal (the simulator will re-invoke the policy at the next
+        epoch), but a policy must eventually assign every task or the
+        simulation will abort with a livelock error.
+        """
+
+    def reset(self) -> None:
+        """Clear any per-run state; called by the simulator before a run."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,34 @@
+"""Longest Processing Time first (LPT) list scheduling.
+
+A classical machine-scheduling heuristic: among the ready tasks the ones with
+the longest durations are assigned first.  For DAGs this is generally weaker
+than level-based priorities (it ignores the downstream work a task unlocks)
+and serves as another baseline point in the random-graph benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable
+
+from repro.schedulers.base import PacketContext, SchedulingPolicy
+
+__all__ = ["LPTScheduler"]
+
+TaskId = Hashable
+ProcId = int
+
+
+class LPTScheduler(SchedulingPolicy):
+    """Assign the longest ready tasks to idle processors (index order placement)."""
+
+    name = "LPT"
+
+    def assign(self, ctx: PacketContext) -> Dict[TaskId, ProcId]:
+        if ctx.n_idle == 0 or ctx.n_ready == 0:
+            return {}
+        order = sorted(
+            ctx.ready_tasks,
+            key=lambda t: (-ctx.graph.duration(t), ctx.ready_tasks.index(t)),
+        )
+        selected = order[: ctx.n_idle]
+        return dict(zip(selected, ctx.idle_processors))

@@ -1,0 +1,29 @@
+"""Discrete-event execution simulator.
+
+The simulator executes a task graph on a machine under an online
+:class:`~repro.schedulers.base.SchedulingPolicy`, reproducing the measurement
+setup of the paper: assignment epochs at time zero and whenever a processor
+becomes idle, message latencies following equation 4, optional per-link
+contention with store-and-forward hops, and full execution traces from which
+speedups (Table 2) and Gantt charts (Figure 2) are derived.
+"""
+
+from repro.sim.events import EventQueue, Event
+from repro.sim.message import MessageRecord
+from repro.sim.trace import TaskRecord, OverheadRecord, ExecutionTrace
+from repro.sim.results import SimulationResult
+from repro.sim.engine import Simulator, simulate
+from repro.sim.gantt import render_gantt
+
+__all__ = [
+    "EventQueue",
+    "Event",
+    "MessageRecord",
+    "TaskRecord",
+    "OverheadRecord",
+    "ExecutionTrace",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+    "render_gantt",
+]

@@ -1,0 +1,75 @@
+"""A deterministic event queue for the discrete-event simulator.
+
+Events are ordered by time; ties are broken by a monotonically increasing
+sequence number so that simulation runs are exactly reproducible regardless
+of the (stable) heap implementation details.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+__all__ = ["Event", "EventQueue"]
+
+#: Event kinds understood by the engine.
+TASK_FINISH = "task_finish"
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled simulator event.
+
+    ``time`` and ``seq`` define the ordering; ``kind`` and ``payload`` are
+    ignored by comparisons (``seq`` is unique).
+    """
+
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: str, payload: Any = None) -> Event:
+        """Schedule an event and return it."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(time=float(time), seq=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event; raise :class:`IndexError` when empty."""
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it, or ``None`` when empty."""
+        return self._heap[0] if self._heap else None
+
+    def pop_simultaneous(self) -> list[Event]:
+        """Pop every event sharing the earliest timestamp (in insertion order)."""
+        if not self._heap:
+            return []
+        first = self.pop()
+        batch = [first]
+        while self._heap and self._heap[0].time == first.time:
+            batch.append(self.pop())
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __iter__(self) -> Iterator[Event]:  # pragma: no cover - debugging aid
+        return iter(sorted(self._heap))

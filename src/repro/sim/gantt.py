@@ -1,0 +1,110 @@
+"""Plain-text Gantt charts (the Figure-2 reproduction).
+
+The paper's Figure 2 shows, per processor, numbered task blocks plus
+half-height send/receive blocks and quarter-height routing blocks.  On a
+terminal we render one row per processor: task execution as ``[ label ]``
+runs, send overhead as ``s``, routing overhead as ``r``, receive as ``v``,
+idle time as ``.``.  A second, machine-readable representation
+(:func:`gantt_rows`) returns the interval lists so tests and notebooks can
+post-process them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.sim.results import SimulationResult
+from repro.sim.trace import ExecutionTrace
+
+__all__ = ["render_gantt", "gantt_rows"]
+
+TaskId = Hashable
+ProcId = int
+
+_OVERHEAD_SYMBOL = {"send": "s", "route": "r", "receive": "v"}
+
+
+def gantt_rows(trace: ExecutionTrace, n_processors: int) -> Dict[ProcId, List[Tuple[float, float, str, str]]]:
+    """Return, per processor, sorted ``(start, end, kind, label)`` intervals.
+
+    ``kind`` is ``"task"``, ``"send"``, ``"route"`` or ``"receive"``; the
+    label is the task label for task intervals and the overhead kind letter
+    otherwise.
+    """
+    rows: Dict[ProcId, List[Tuple[float, float, str, str]]] = {p: [] for p in range(n_processors)}
+    for rec in trace.task_records:
+        rows[rec.processor].append((rec.start_time, rec.finish_time, "task", str(rec.task)))
+    for ov in trace.overhead_records:
+        rows[ov.processor].append(
+            (ov.start_time, ov.end_time, ov.kind, _OVERHEAD_SYMBOL.get(ov.kind, "?"))
+        )
+    for p in rows:
+        rows[p].sort(key=lambda iv: (iv[0], iv[1]))
+    return rows
+
+
+def render_gantt(
+    result: SimulationResult,
+    width: int = 100,
+    until: float | None = None,
+) -> str:
+    """Render the schedule of *result* as a plain-text Gantt chart.
+
+    Parameters
+    ----------
+    result:
+        A simulation result carrying a recorded trace.
+    width:
+        Number of character columns representing the time axis.
+    until:
+        Only render the schedule up to this time (the paper's Figure 2 shows
+        a *detail* of the Newton–Euler start); defaults to the makespan.
+
+    Returns
+    -------
+    str
+        One header line with the time scale plus one line per processor.
+    """
+    if result.trace is None:
+        return "(no trace recorded)"
+    trace = result.trace
+    horizon = until if until is not None else result.makespan
+    if horizon <= 0:
+        return "(empty schedule)"
+    width = max(10, int(width))
+    scale = width / horizon
+
+    def col(t: float) -> int:
+        return min(width - 1, max(0, int(t * scale)))
+
+    lines = [f"time 0 .. {horizon:.1f}  ({result.graph_name} on {result.machine_name}, {result.policy_name})"]
+    rows = gantt_rows(trace, result.n_processors)
+    for proc in range(result.n_processors):
+        row = ["."] * width
+        # overheads first so task blocks overwrite them when they coincide
+        for start, end, kind, label in rows[proc]:
+            if start >= horizon:
+                continue
+            c0, c1 = col(start), col(min(end, horizon))
+            if kind == "task":
+                continue
+            for c in range(c0, max(c0 + 1, c1)):
+                row[c] = label
+        for start, end, kind, label in rows[proc]:
+            if kind != "task" or start >= horizon:
+                continue
+            c0, c1 = col(start), col(min(end, horizon))
+            span = max(c1 - c0, 1)
+            block = ("#" * span)
+            # embed the task label when it fits
+            text = label[: span - 2]
+            if span >= 3 and text:
+                block = "[" + text.ljust(span - 2, "#") + "]"
+            for i, ch in enumerate(block):
+                if c0 + i < width:
+                    row[c0 + i] = ch
+        lines.append(f"P{proc:<2d} |{''.join(row)}|")
+    lines.append(
+        "legend: [..]/# task execution, s send setup, r routing, v receive, . idle"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Simulation results: makespan, speedup, utilization and schedule summaries.
+
+Speedup is measured exactly as in the paper: the serial execution time (the
+sum of all task durations, i.e. running the whole program on one processor
+with no communication) divided by the parallel completion time recorded by
+the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from repro.sim.trace import ExecutionTrace
+
+__all__ = ["SimulationResult"]
+
+TaskId = Hashable
+ProcId = int
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated execution.
+
+    Attributes
+    ----------
+    makespan:
+        Completion time of the last task.
+    trace:
+        The full :class:`~repro.sim.trace.ExecutionTrace` (task intervals,
+        messages, overheads) when trace recording was enabled.
+    graph_name, machine_name, policy_name:
+        Identification of the experiment for reports.
+    total_work:
+        The serial execution time ``T_1`` (sum of task durations).
+    n_processors:
+        Number of processors of the machine.
+    n_packets:
+        Number of assignment epochs at which at least one task was placed.
+    task_processor:
+        Final placement of every task.
+    """
+
+    makespan: float
+    total_work: float
+    n_processors: int
+    graph_name: str = ""
+    machine_name: str = ""
+    policy_name: str = ""
+    n_packets: int = 0
+    task_processor: Dict[TaskId, ProcId] = field(default_factory=dict)
+    trace: Optional[ExecutionTrace] = None
+
+    # ------------------------------------------------------------------ #
+    def speedup(self) -> float:
+        """``T_1 / makespan`` — the quantity reported in Table 2."""
+        if self.makespan <= 0.0:
+            return 0.0
+        return self.total_work / self.makespan
+
+    def efficiency(self) -> float:
+        """Speedup divided by the processor count (in [0, 1] for valid schedules)."""
+        if self.n_processors <= 0:
+            return 0.0
+        return self.speedup() / self.n_processors
+
+    def processor_utilization(self) -> Dict[ProcId, float]:
+        """Fraction of the makespan each processor spent executing tasks.
+
+        Requires a recorded trace; returns an empty dict otherwise.
+        """
+        if self.trace is None or self.makespan <= 0.0:
+            return {}
+        return {
+            proc: self.trace.busy_time(proc) / self.makespan
+            for proc in range(self.n_processors)
+        }
+
+    def average_utilization(self) -> float:
+        util = self.processor_utilization()
+        if not util:
+            return 0.0
+        return sum(util.values()) / len(util)
+
+    def tasks_per_processor(self) -> Dict[ProcId, int]:
+        """Number of tasks placed on each processor."""
+        counts: Dict[ProcId, int] = {p: 0 for p in range(self.n_processors)}
+        for proc in self.task_processor.values():
+            counts[proc] = counts.get(proc, 0) + 1
+        return counts
+
+    def summary(self) -> str:
+        """A short human-readable summary line."""
+        return (
+            f"{self.graph_name} on {self.machine_name} with {self.policy_name}: "
+            f"makespan={self.makespan:.2f}, speedup={self.speedup():.2f}, "
+            f"efficiency={self.efficiency():.2%}"
+        )

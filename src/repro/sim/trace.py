@@ -1,0 +1,149 @@
+"""Execution traces: what actually happened on every processor.
+
+The trace is the raw material for the Gantt chart of Figure 2 and for the
+schedule-validity checks used in the tests (precedence respected, one task
+per processor at a time, messages arrive before their consumer starts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.sim.message import MessageRecord
+
+__all__ = ["TaskRecord", "OverheadRecord", "ExecutionTrace"]
+
+TaskId = Hashable
+ProcId = int
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Execution interval of one task on one processor."""
+
+    task: TaskId
+    processor: ProcId
+    assigned_time: float
+    start_time: float
+    finish_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish_time - self.start_time
+
+    @property
+    def wait_time(self) -> float:
+        """Time the processor was reserved but waiting for predecessor data."""
+        return self.start_time - self.assigned_time
+
+
+@dataclass(frozen=True)
+class OverheadRecord:
+    """A communication overhead interval charged to a processor.
+
+    ``kind`` is ``"send"`` (σ, the link setup on the sender), ``"route"``
+    (τ on an intermediate processor) or ``"receive"`` (τ on the destination).
+    These are the half- and quarter-height blocks of the paper's Figure 2.
+    """
+
+    processor: ProcId
+    start_time: float
+    end_time: float
+    kind: str
+    task: Optional[TaskId] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+
+@dataclass
+class ExecutionTrace:
+    """All events recorded during one simulation run."""
+
+    task_records: List[TaskRecord] = field(default_factory=list)
+    message_records: List[MessageRecord] = field(default_factory=list)
+    overhead_records: List[OverheadRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+    def record_for(self, task: TaskId) -> TaskRecord:
+        """The :class:`TaskRecord` of *task*; raises :class:`SimulationError` if missing."""
+        for rec in self.task_records:
+            if rec.task == task:
+                return rec
+        raise SimulationError(f"no execution record for task {task!r}")
+
+    def tasks_on(self, processor: ProcId) -> List[TaskRecord]:
+        """Task records executed on *processor*, sorted by start time."""
+        return sorted(
+            (r for r in self.task_records if r.processor == processor),
+            key=lambda r: (r.start_time, r.finish_time),
+        )
+
+    def processor_of(self, task: TaskId) -> ProcId:
+        return self.record_for(task).processor
+
+    def makespan(self) -> float:
+        """Completion time of the last task (0.0 for an empty trace)."""
+        if not self.task_records:
+            return 0.0
+        return max(r.finish_time for r in self.task_records)
+
+    def busy_time(self, processor: ProcId) -> float:
+        """Total task execution time charged to *processor* (excluding overheads)."""
+        return sum(r.duration for r in self.tasks_on(processor))
+
+    def overhead_time(self, processor: ProcId) -> float:
+        """Total communication overhead time charged to *processor*."""
+        return sum(
+            o.duration for o in self.overhead_records if o.processor == processor
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validity checks (used heavily by the test-suite)
+    # ------------------------------------------------------------------ #
+    def check_no_processor_overlap(self) -> None:
+        """Raise :class:`SimulationError` if two tasks overlap on one processor."""
+        by_proc: Dict[ProcId, List[TaskRecord]] = {}
+        for rec in self.task_records:
+            by_proc.setdefault(rec.processor, []).append(rec)
+        for proc, recs in by_proc.items():
+            recs.sort(key=lambda r: (r.start_time, r.finish_time))
+            for a, b in zip(recs, recs[1:]):
+                if b.start_time < a.finish_time - 1e-9:
+                    raise SimulationError(
+                        f"tasks {a.task!r} and {b.task!r} overlap on processor {proc}"
+                    )
+
+    def check_precedence(self, graph) -> None:
+        """Raise :class:`SimulationError` if any task started before a predecessor finished."""
+        finish = {r.task: r.finish_time for r in self.task_records}
+        start = {r.task: r.start_time for r in self.task_records}
+        for u, v, _w in graph.edges():
+            if u in finish and v in start and start[v] < finish[u] - 1e-9:
+                raise SimulationError(
+                    f"precedence violated: {v!r} started at {start[v]} before "
+                    f"{u!r} finished at {finish[u]}"
+                )
+
+    def check_messages_arrive_before_start(self) -> None:
+        """Raise :class:`SimulationError` if a consumer started before a message arrived."""
+        start = {r.task: r.start_time for r in self.task_records}
+        for msg in self.message_records:
+            consumer_start = start.get(msg.dst_task)
+            if consumer_start is not None and consumer_start < msg.arrival_time - 1e-9:
+                raise SimulationError(
+                    f"task {msg.dst_task!r} started at {consumer_start} before its "
+                    f"message from {msg.src_task!r} arrived at {msg.arrival_time}"
+                )
+
+    def validate(self, graph=None) -> None:
+        """Run every structural check (optionally including precedence against *graph*)."""
+        self.check_no_processor_overlap()
+        self.check_messages_arrive_before_start()
+        if graph is not None:
+            self.check_precedence(graph)

@@ -1,0 +1,49 @@
+"""Directed task-graph substrate.
+
+A :class:`~repro.taskgraph.graph.TaskGraph` is the quadruple
+``TG = {T, R, W, <*}`` from the paper: a set of tasks ``T`` with CPU-load
+requirements ``R`` (durations), communication weights ``W`` on the edges, and
+the precedence relation ``<*`` encoded by the directed edges themselves.
+
+The subpackage also provides level / critical-path computations, structural
+property measurements, random and structured generators, serialization and
+transformations.
+"""
+
+from repro.taskgraph.task import Task
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.levels import (
+    compute_levels,
+    compute_colevels,
+    critical_path,
+    critical_path_length,
+)
+from repro.taskgraph.properties import (
+    GraphProperties,
+    graph_properties,
+    communication_to_computation_ratio,
+    max_speedup,
+    parallelism_profile,
+    graph_width,
+)
+from repro.taskgraph import generators
+from repro.taskgraph import io
+from repro.taskgraph import transform
+
+__all__ = [
+    "Task",
+    "TaskGraph",
+    "compute_levels",
+    "compute_colevels",
+    "critical_path",
+    "critical_path_length",
+    "GraphProperties",
+    "graph_properties",
+    "communication_to_computation_ratio",
+    "max_speedup",
+    "parallelism_profile",
+    "graph_width",
+    "generators",
+    "io",
+    "transform",
+]

@@ -1,0 +1,142 @@
+"""Serialization of task graphs.
+
+Supported formats:
+
+* **JSON** — the native round-trip format (durations, communication weights,
+  labels, attributes).
+* **DOT** — Graphviz output for visual inspection of generated workloads.
+* **edge list** — a minimal whitespace-separated text format convenient for
+  interoperability with external scheduling tools.
+
+Task identifiers are serialized as strings in DOT and edge-list formats; the
+JSON format preserves ints and strings exactly and stringifies other hashable
+identifiers (tuples become strings on reload — use JSON only with int/str ids
+if exact round-tripping matters).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import TaskGraphError
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = [
+    "to_dict",
+    "from_dict",
+    "save_json",
+    "load_json",
+    "to_dot",
+    "to_edge_list",
+    "from_edge_list",
+]
+
+PathLike = Union[str, Path]
+_FORMAT_VERSION = 1
+
+
+def to_dict(graph: TaskGraph) -> dict:
+    """Convert *graph* to a JSON-serializable dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "tasks": [
+            {
+                "id": tid,
+                "duration": graph.duration(tid),
+                "label": graph.task(tid).label,
+                "attrs": dict(graph.task(tid).attrs),
+            }
+            for tid in graph.tasks
+        ],
+        "edges": [
+            {"source": u, "target": v, "comm": w} for u, v, w in graph.edges()
+        ],
+    }
+
+
+def from_dict(data: dict) -> TaskGraph:
+    """Rebuild a :class:`TaskGraph` from a dictionary produced by :func:`to_dict`."""
+    if "tasks" not in data or "edges" not in data:
+        raise TaskGraphError("dictionary is missing 'tasks' or 'edges' keys")
+    g = TaskGraph(data.get("name", "taskgraph"))
+    for t in data["tasks"]:
+        g.add_task(t["id"], float(t["duration"]), t.get("label", ""), **t.get("attrs", {}))
+    for e in data["edges"]:
+        g.add_dependency(e["source"], e["target"], float(e.get("comm", 0.0)))
+    return g
+
+
+def save_json(graph: TaskGraph, path: PathLike, indent: int = 2) -> None:
+    """Write *graph* to *path* as JSON."""
+    Path(path).write_text(json.dumps(to_dict(graph), indent=indent, default=str))
+
+
+def load_json(path: PathLike) -> TaskGraph:
+    """Load a task graph previously written with :func:`save_json`."""
+    return from_dict(json.loads(Path(path).read_text()))
+
+
+def to_dot(graph: TaskGraph, show_comm: bool = True) -> str:
+    """Render *graph* as a Graphviz DOT string.
+
+    Node labels carry the task label and duration; edge labels carry the
+    communication weight when *show_comm* is true and the weight is non-zero.
+    """
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    for tid in graph.tasks:
+        task = graph.task(tid)
+        lines.append(
+            f'  "{tid}" [label="{task.label}\\n{task.duration:g}"];'
+        )
+    for u, v, w in graph.edges():
+        if show_comm and w > 0:
+            lines.append(f'  "{u}" -> "{v}" [label="{w:g}"];')
+        else:
+            lines.append(f'  "{u}" -> "{v}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_edge_list(graph: TaskGraph) -> str:
+    """Serialize to a simple text format.
+
+    The output has one ``task <id> <duration>`` line per task followed by one
+    ``edge <src> <dst> <comm>`` line per edge.  Identifiers are stringified.
+    """
+    lines = [f"# taskgraph {graph.name}"]
+    for tid in graph.tasks:
+        lines.append(f"task {tid} {graph.duration(tid):g}")
+    for u, v, w in graph.edges():
+        lines.append(f"edge {u} {v} {w:g}")
+    return "\n".join(lines) + "\n"
+
+
+def from_edge_list(text: str, name: str = "taskgraph") -> TaskGraph:
+    """Parse the format produced by :func:`to_edge_list`.
+
+    Task identifiers are read back as strings (or ints when they parse as
+    ints).  Unknown line types raise :class:`TaskGraphError`.
+    """
+
+    def parse_id(token: str):
+        try:
+            return int(token)
+        except ValueError:
+            return token
+
+    g = TaskGraph(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "task" and len(parts) == 3:
+            g.add_task(parse_id(parts[1]), float(parts[2]))
+        elif parts[0] == "edge" and len(parts) == 4:
+            g.add_dependency(parse_id(parts[1]), parse_id(parts[2]), float(parts[3]))
+        else:
+            raise TaskGraphError(f"cannot parse line {lineno}: {raw!r}")
+    return g

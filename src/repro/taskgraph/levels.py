@@ -1,0 +1,111 @@
+"""Task levels, co-levels and the critical path.
+
+The *level* ``n_i`` of a task (paper §4.2a, citing Coffman 1976) is the
+accumulated execution time of every task on the longest path connecting
+``t_i`` with a leaf task, **including** ``t_i`` itself.  On a machine with an
+unbounded number of processors and zero communication cost, the level is the
+minimal remaining execution time once the task starts, which is why list
+schedulers such as Highest Level First prioritize high-level tasks.
+
+The *co-level* is the symmetric quantity measured from the roots downward and
+is useful for earliest-start-time reasoning.
+
+Both can optionally include edge communication weights on the path, which
+yields the communication-aware ("static b-level") variant used by some list
+schedulers; the paper's HLF and SA cost function use the pure computation
+levels, which is the default here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.exceptions import TaskGraphError
+
+__all__ = [
+    "compute_levels",
+    "compute_colevels",
+    "critical_path",
+    "critical_path_length",
+]
+
+TaskId = Hashable
+
+
+def compute_levels(graph, include_communication: bool = False) -> Dict[TaskId, float]:
+    """Return the level ``n_i`` of every task in *graph*.
+
+    Parameters
+    ----------
+    graph:
+        A :class:`~repro.taskgraph.graph.TaskGraph`.
+    include_communication:
+        If ``True`` the edge weight ``w_ij`` is added along the path, giving
+        the communication-inclusive bottom level.  The paper's cost function
+        uses the computation-only level, i.e. ``False``.
+    """
+    order = graph.topological_order()
+    levels: Dict[TaskId, float] = {}
+    for tid in reversed(order):
+        best_tail = 0.0
+        for succ in graph.successors(tid):
+            tail = levels[succ]
+            if include_communication:
+                tail += graph.comm(tid, succ)
+            if tail > best_tail:
+                best_tail = tail
+        levels[tid] = graph.duration(tid) + best_tail
+    return levels
+
+
+def compute_colevels(graph, include_communication: bool = False) -> Dict[TaskId, float]:
+    """Return the co-level of every task (longest path from any root, inclusive)."""
+    order = graph.topological_order()
+    colevels: Dict[TaskId, float] = {}
+    for tid in order:
+        best_head = 0.0
+        for pred in graph.predecessors(tid):
+            head = colevels[pred]
+            if include_communication:
+                head += graph.comm(pred, tid)
+            if head > best_head:
+                best_head = head
+        colevels[tid] = graph.duration(tid) + best_head
+    return colevels
+
+
+def critical_path(graph) -> List[TaskId]:
+    """Return one critical (longest duration-weighted) root-to-leaf chain.
+
+    Ties are broken deterministically by following the successor with the
+    largest level and, among equals, the earliest insertion order.  Returns an
+    empty list for an empty graph.
+    """
+    if graph.n_tasks == 0:
+        return []
+    levels = compute_levels(graph)
+    # start at the entry task with the maximal level
+    entries = graph.entry_tasks()
+    if not entries:
+        raise TaskGraphError(f"graph {graph.name!r} has no entry task (cycle?)")
+    current = max(entries, key=lambda t: (levels[t],))
+    path = [current]
+    while True:
+        succs = graph.successors(current)
+        if not succs:
+            break
+        current = max(succs, key=lambda t: (levels[t],))
+        path.append(current)
+    return path
+
+
+def critical_path_length(graph) -> float:
+    """Length (sum of durations) of the critical path; 0.0 for an empty graph.
+
+    This equals ``max_i n_i`` and is the ``T_inf`` lower bound on any
+    schedule's makespan when communication is free.
+    """
+    if graph.n_tasks == 0:
+        return 0.0
+    levels = compute_levels(graph)
+    return float(max(levels.values()))

@@ -1,0 +1,149 @@
+"""Structural and quantitative properties of task graphs.
+
+These are the quantities reported in the paper's Table 1 (number of tasks,
+average duration, average communication, communication/computation ratio,
+maximum speedup) plus a few additional measurements (graph width, parallelism
+profile, edge density) used by the benchmarks and by the random-graph
+calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+import numpy as np
+
+from repro.taskgraph.levels import compute_colevels, critical_path_length
+
+__all__ = [
+    "GraphProperties",
+    "graph_properties",
+    "communication_to_computation_ratio",
+    "max_speedup",
+    "parallelism_profile",
+    "graph_width",
+    "edge_density",
+]
+
+TaskId = Hashable
+
+
+def communication_to_computation_ratio(graph) -> float:
+    """The C/C ratio of Table 1: average communication / average duration.
+
+    The paper reports the ratio of the average edge communication time to the
+    average task duration (in per cent in the table).  Returns 0.0 for graphs
+    without edges and raises :class:`ZeroDivisionError` only if total work is
+    zero while communication is not.
+    """
+    n_edges = graph.n_edges
+    n_tasks = graph.n_tasks
+    if n_edges == 0 or n_tasks == 0:
+        return 0.0
+    avg_comm = graph.total_communication() / n_edges
+    avg_dur = graph.total_work() / n_tasks
+    if avg_dur == 0.0:
+        if avg_comm == 0.0:
+            return 0.0
+        raise ZeroDivisionError("graph has zero total work but non-zero communication")
+    return avg_comm / avg_dur
+
+
+def max_speedup(graph) -> float:
+    """Maximum achievable speedup ``T_1 / T_inf`` (no communication, unbounded processors)."""
+    cp = critical_path_length(graph)
+    if cp == 0.0:
+        return 0.0
+    return graph.total_work() / cp
+
+
+def parallelism_profile(graph, n_bins: int = 0) -> List[int]:
+    """Number of tasks that *could* run concurrently, per precedence depth.
+
+    The profile is computed on precedence depth (unit-duration co-level), i.e.
+    entry tasks are depth 0, a task's depth is one more than its deepest
+    predecessor.  The return value is a list whose ``d``-th entry is the
+    number of tasks at depth ``d``.  If *n_bins* is positive the list is
+    padded or truncated to that length.
+    """
+    depth: Dict[TaskId, int] = {}
+    for tid in graph.topological_order():
+        preds = graph.predecessors(tid)
+        depth[tid] = 0 if not preds else 1 + max(depth[p] for p in preds)
+    if not depth:
+        profile: List[int] = []
+    else:
+        max_depth = max(depth.values())
+        profile = [0] * (max_depth + 1)
+        for d in depth.values():
+            profile[d] += 1
+    if n_bins > 0:
+        profile = (profile + [0] * n_bins)[:n_bins]
+    return profile
+
+
+def graph_width(graph) -> int:
+    """Maximum number of tasks at any precedence depth (an upper bound on useful processors)."""
+    profile = parallelism_profile(graph)
+    return max(profile) if profile else 0
+
+
+def edge_density(graph) -> float:
+    """Edges divided by the maximum possible number of DAG edges ``n(n-1)/2``."""
+    n = graph.n_tasks
+    if n < 2:
+        return 0.0
+    return graph.n_edges / (n * (n - 1) / 2.0)
+
+
+@dataclass(frozen=True)
+class GraphProperties:
+    """Summary record mirroring (and extending) one row of the paper's Table 1."""
+
+    name: str
+    n_tasks: int
+    n_edges: int
+    average_duration: float
+    average_communication: float
+    cc_ratio: float
+    max_speedup: float
+    critical_path_length: float
+    total_work: float
+    width: int
+    depth: int
+
+    def as_table1_row(self) -> list:
+        """Return the row in the column order of the paper's Table 1."""
+        return [
+            self.name,
+            self.n_tasks,
+            self.average_duration,
+            self.average_communication,
+            100.0 * self.cc_ratio,
+            self.max_speedup,
+        ]
+
+
+def graph_properties(graph) -> GraphProperties:
+    """Compute the :class:`GraphProperties` summary of *graph*."""
+    n_tasks = graph.n_tasks
+    n_edges = graph.n_edges
+    durations = np.array([graph.duration(t) for t in graph.tasks], dtype=float)
+    comms = np.array([w for _, _, w in graph.edges()], dtype=float)
+    avg_dur = float(durations.mean()) if n_tasks else 0.0
+    avg_comm = float(comms.mean()) if n_edges else 0.0
+    profile = parallelism_profile(graph)
+    return GraphProperties(
+        name=graph.name,
+        n_tasks=n_tasks,
+        n_edges=n_edges,
+        average_duration=avg_dur,
+        average_communication=avg_comm,
+        cc_ratio=communication_to_computation_ratio(graph),
+        max_speedup=max_speedup(graph),
+        critical_path_length=critical_path_length(graph),
+        total_work=graph.total_work(),
+        width=max(profile) if profile else 0,
+        depth=len(profile),
+    )

@@ -1,0 +1,53 @@
+"""The :class:`Task` record.
+
+A task is a node of the directed task graph: it has an identifier, an
+estimated CPU load (its *duration*, ``r_i`` in the paper) and an optional
+human-readable label used by the workload generators (e.g. ``"pivot[3]"`` in
+the Gauss–Jordan graph) and by Gantt-chart rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping, Any
+
+from repro.utils.validation import check_non_negative
+
+__all__ = ["Task"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """A single task of a directed task graph.
+
+    Attributes
+    ----------
+    task_id:
+        Hashable identifier, unique within its graph.
+    duration:
+        Estimated CPU load ``r_i`` (time units, the paper uses microseconds).
+        Must be non-negative; zero-duration tasks are allowed and are used by
+        some generators as pure synchronization points.
+    label:
+        Optional human-readable name.  Defaults to ``str(task_id)``.
+    attrs:
+        Free-form metadata attached by generators (e.g. the pivot index of a
+        Gauss–Jordan elimination task).  Not interpreted by the library.
+    """
+
+    task_id: Hashable
+    duration: float
+    label: str = ""
+    attrs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_non_negative("duration", self.duration)
+        if not self.label:
+            object.__setattr__(self, "label", str(self.task_id))
+
+    def with_duration(self, duration: float) -> "Task":
+        """Return a copy of this task with a different duration."""
+        return Task(self.task_id, duration, self.label, dict(self.attrs))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Task({self.task_id!r}, duration={self.duration:g})"

@@ -1,0 +1,132 @@
+"""Task-graph transformations.
+
+The experiment drivers need a few simple graph rewrites:
+
+* :func:`without_communication` — zero out every edge weight (the "w/o comm"
+  columns of Table 2),
+* :func:`scale_durations` / :func:`scale_communication` — calibrate generated
+  graphs to the Table 1 averages and sweep the communication/computation
+  ratio in the ablation benchmarks,
+* :func:`merge_serial_chains` — a simple grain-packing pass that collapses
+  pure chains into single tasks (useful for studying granularity).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.exceptions import TaskGraphError
+from repro.taskgraph.graph import TaskGraph
+from repro.utils.validation import check_non_negative
+
+__all__ = [
+    "without_communication",
+    "scale_durations",
+    "scale_communication",
+    "with_uniform_communication",
+    "merge_serial_chains",
+]
+
+
+def without_communication(graph: TaskGraph, name: Optional[str] = None) -> TaskGraph:
+    """Return a copy of *graph* whose edge communication weights are all zero."""
+    new = TaskGraph(name or f"{graph.name}:nocomm")
+    for tid in graph.tasks:
+        t = graph.task(tid)
+        new.add_task(tid, t.duration, t.label, **dict(t.attrs))
+    for u, v, _ in graph.edges():
+        new.add_dependency(u, v, 0.0)
+    return new
+
+
+def scale_durations(graph: TaskGraph, factor: float, name: Optional[str] = None) -> TaskGraph:
+    """Return a copy with every task duration multiplied by *factor* (>= 0)."""
+    check_non_negative("factor", factor)
+    new = TaskGraph(name or graph.name)
+    for tid in graph.tasks:
+        t = graph.task(tid)
+        new.add_task(tid, t.duration * factor, t.label, **dict(t.attrs))
+    for u, v, w in graph.edges():
+        new.add_dependency(u, v, w)
+    return new
+
+
+def scale_communication(graph: TaskGraph, factor: float, name: Optional[str] = None) -> TaskGraph:
+    """Return a copy with every edge communication weight multiplied by *factor* (>= 0)."""
+    check_non_negative("factor", factor)
+    new = TaskGraph(name or graph.name)
+    for tid in graph.tasks:
+        t = graph.task(tid)
+        new.add_task(tid, t.duration, t.label, **dict(t.attrs))
+    for u, v, w in graph.edges():
+        new.add_dependency(u, v, w * factor)
+    return new
+
+
+def with_uniform_communication(
+    graph: TaskGraph, comm: float, name: Optional[str] = None
+) -> TaskGraph:
+    """Return a copy with every edge weight replaced by the constant *comm*."""
+    check_non_negative("comm", comm)
+    new = TaskGraph(name or graph.name)
+    for tid in graph.tasks:
+        t = graph.task(tid)
+        new.add_task(tid, t.duration, t.label, **dict(t.attrs))
+    for u, v, _ in graph.edges():
+        new.add_dependency(u, v, comm)
+    return new
+
+
+def merge_serial_chains(graph: TaskGraph, name: Optional[str] = None) -> TaskGraph:
+    """Collapse maximal serial chains into single tasks.
+
+    A task ``v`` is merged into its predecessor ``u`` when ``u`` has exactly
+    one successor (``v``) and ``v`` has exactly one predecessor (``u``): the
+    two tasks can never run in parallel, so merging them preserves every
+    feasible schedule while reducing scheduling overhead.  The merged task's
+    duration is the sum of the chain durations; the internal communication
+    weight disappears (the data never leaves the processor).
+
+    The merged task keeps the identifier and label of the *first* task of the
+    chain.  Attribute dictionaries of absorbed tasks are discarded.
+    """
+    graph.validate()
+    # Union-find style chain head lookup.
+    absorbed_into: dict[Hashable, Hashable] = {}
+
+    def head(t: Hashable) -> Hashable:
+        while t in absorbed_into:
+            t = absorbed_into[t]
+        return t
+
+    durations = {t: graph.duration(t) for t in graph.tasks}
+    for v in graph.topological_order():
+        preds = graph.predecessors(v)
+        if len(preds) != 1:
+            continue
+        u = preds[0]
+        if len(graph.successors(u)) != 1:
+            continue
+        hu = head(u)
+        absorbed_into[v] = hu
+        durations[hu] += durations[v]
+
+    new = TaskGraph(name or f"{graph.name}:merged")
+    kept = [t for t in graph.tasks if t not in absorbed_into]
+    for tid in kept:
+        t = graph.task(tid)
+        new.add_task(tid, durations[tid], t.label, **dict(t.attrs))
+    for u, v, w in graph.edges():
+        hu, hv = head(u), head(v)
+        if hu == hv:
+            continue
+        if new.has_edge(hu, hv):
+            # keep the largest weight among parallel merged edges
+            if w > new.comm(hu, hv):
+                new.remove_dependency(hu, hv)
+                new.add_dependency(hu, hv, w)
+        else:
+            new.add_dependency(hu, hv, w)
+    if not new.is_acyclic():  # pragma: no cover - defensive, should be impossible
+        raise TaskGraphError("chain merging produced a cycle")
+    return new

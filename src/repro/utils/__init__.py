@@ -1,0 +1,22 @@
+"""Small shared utilities: RNG handling, validation helpers, tabulation."""
+
+from repro.utils.rng import as_rng, spawn_rng
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_in_range,
+    check_type,
+)
+from repro.utils.tabulate import format_table
+
+__all__ = [
+    "as_rng",
+    "spawn_rng",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "check_type",
+    "format_table",
+]

@@ -1,0 +1,73 @@
+"""Minimal plain-text table formatting.
+
+The experiment drivers and benchmark harness print paper-style tables on the
+terminal.  This avoids a dependency on external tabulation packages while
+keeping the output readable and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table"]
+
+
+def _cell(value, floatfmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def format_table(
+    rows: Iterable[Sequence],
+    headers: Sequence[str] | None = None,
+    floatfmt: str = ".2f",
+    title: str | None = None,
+) -> str:
+    """Render *rows* as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of row sequences.  Cells may be strings, ints or floats;
+        floats are formatted with *floatfmt*.
+    headers:
+        Optional column headers.
+    floatfmt:
+        Format specification applied to float cells (default two decimals).
+    title:
+        Optional title line printed above the table.
+    """
+    str_rows = [[_cell(c, floatfmt) for c in row] for row in rows]
+    if headers is not None:
+        header_row = [str(h) for h in headers]
+        all_rows = [header_row] + str_rows
+    else:
+        header_row = None
+        all_rows = list(str_rows)
+
+    if not all_rows:
+        return title or ""
+
+    n_cols = max(len(r) for r in all_rows)
+    for r in all_rows:
+        r.extend([""] * (n_cols - len(r)))
+    widths = [max(len(r[c]) for r in all_rows) for c in range(n_cols)]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if header_row is not None:
+        lines.append(fmt_row(header_row))
+        lines.append("  ".join("-" * w for w in widths))
+        body = str_rows
+    else:
+        body = str_rows
+    for row in body:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Argument-validation helpers used across the library.
+
+These raise :class:`ValueError` / :class:`TypeError` with uniform messages so
+that error handling and tests stay consistent between subsystems.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_in_range",
+    "check_type",
+    "is_finite_number",
+]
+
+
+def is_finite_number(value: Any) -> bool:
+    """Return ``True`` if *value* is a finite real number (bools excluded)."""
+    if isinstance(value, bool):
+        return False
+    try:
+        return math.isfinite(float(value))
+    except (TypeError, ValueError):
+        return False
+
+
+def check_type(name: str, value: Any, types) -> Any:
+    """Raise :class:`TypeError` unless ``isinstance(value, types)``."""
+    if not isinstance(value, types):
+        expected = getattr(types, "__name__", str(types))
+        raise TypeError(f"{name} must be of type {expected}, got {type(value).__name__}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise :class:`ValueError` unless *value* is a finite number >= 0."""
+    if not is_finite_number(value) or float(value) < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return float(value)
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise :class:`ValueError` unless *value* is a finite number > 0."""
+    if not is_finite_number(value) or float(value) <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return float(value)
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise :class:`ValueError` unless *value* lies in the closed interval [0, 1]."""
+    if not is_finite_number(value) or not (0.0 <= float(value) <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Raise :class:`ValueError` unless ``low <= value <= high``."""
+    if not is_finite_number(value) or not (low <= float(value) <= high):
+        raise ValueError(f"{name} must lie in [{low}, {high}], got {value!r}")
+    return float(value)

@@ -1,0 +1,32 @@
+"""The four paper workloads as parametric task-graph generators.
+
+The original task graphs (extracted from real programs by the authors'
+tooling) are not published; these generators rebuild the same *structure
+class* for each program and are calibrated so that the Table-1
+characteristics — task count, mean duration, mean communication weight and
+communication/computation ratio — match the paper closely.  See
+:mod:`repro.workloads.suite` for the calibration targets and the registry
+used by the experiment drivers.
+"""
+
+from repro.workloads.newton_euler import newton_euler
+from repro.workloads.gauss_jordan import gauss_jordan
+from repro.workloads.matmul import matrix_multiply
+from repro.workloads.fft import fft_2d
+from repro.workloads.suite import (
+    PAPER_PROGRAMS,
+    PaperProgramSpec,
+    paper_program,
+    paper_program_names,
+)
+
+__all__ = [
+    "newton_euler",
+    "gauss_jordan",
+    "matrix_multiply",
+    "fft_2d",
+    "PAPER_PROGRAMS",
+    "PaperProgramSpec",
+    "paper_program",
+    "paper_program_names",
+]

@@ -1,0 +1,113 @@
+"""Gauss–Jordan linear-system solver task graph (the paper's "GJ" program).
+
+Gauss–Jordan elimination on an ``n × n`` system (with right-hand side) is
+partitioned into *vector operations*, exactly as in the paper:
+
+* for every pivot step ``k`` a **normalization** task divides pivot row ``k``
+  by the pivot element, and
+* ``n`` **elimination** tasks subtract the scaled pivot row from every other
+  row (the right-hand-side column is carried inside the row vectors), each
+  depending on the normalization task of step ``k`` and on the previous
+  update of the same row,
+* a final **solution-extraction** task collects the result.
+
+With the paper's ``n = 10`` this yields ``10 * (1 + 10) + 1 = 111`` tasks.
+Durations follow the vector lengths: the amount of arithmetic per row shrinks
+as the elimination proceeds, and the normalization (one division per element)
+is cheaper than an elimination (multiply + subtract per element).  The
+defaults are calibrated so the mean task duration is close to the paper's
+84.77 µs and the mean communication weight close to 6.85 µs (≈ 1.7 variables
+per message: the pivot element plus a couple of boundary values — the paper's
+partitioning transfers only the values a row update actually needs, not whole
+rows).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TaskGraphError
+from repro.taskgraph.graph import TaskGraph
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["gauss_jordan"]
+
+_WORD_TIME = 4.0
+
+
+def gauss_jordan(
+    n: int = 10,
+    element_time: float = 15.0,
+    normalize_factor: float = 0.45,
+    duration_spread: float = 0.1,
+    words_per_edge: float = 1.7,
+    seed: SeedLike = 0,
+    name: str = "gauss-jordan",
+) -> TaskGraph:
+    """Generate a Gauss–Jordan elimination task graph.
+
+    Parameters
+    ----------
+    n:
+        System size (10 in the paper ⇒ 111 tasks).
+    element_time:
+        Time (µs) of one multiply–subtract on one vector element; an
+        elimination task at step ``k`` works on ``n + 1 - k`` remaining
+        elements.
+    normalize_factor:
+        Duration of a normalization task relative to an elimination task of
+        the same step (a division is cheaper than multiply + subtract).
+    duration_spread:
+        Relative uniform jitter on every duration.
+    words_per_edge:
+        Mean number of 40-bit variables per dependence edge.
+    seed:
+        RNG seed (0 = calibrated paper instance).
+    """
+    if n < 1:
+        raise TaskGraphError(f"n must be >= 1, got {n}")
+    rng = as_rng(seed)
+    g = TaskGraph(name)
+    comm = words_per_edge * _WORD_TIME
+
+    def dur(base: float) -> float:
+        jitter = 1.0 + duration_spread * (2.0 * rng.random() - 1.0)
+        return max(base * jitter, 0.5)
+
+    # row_update[i] remembers the task that last touched row i.
+    row_update: dict[int, str] = {}
+
+    for k in range(n):
+        remaining = n + 1 - k  # active columns (including the RHS)
+        elim_d = element_time * remaining
+        norm_d = normalize_factor * elim_d
+
+        norm = f"norm[{k}]"
+        g.add_task(norm, dur(norm_d), label=f"normalize row {k}", step=k, kind="normalize")
+        if k in row_update:
+            g.add_dependency(row_update[k], norm, comm)
+        row_update[k] = norm
+
+        for i in range(n):
+            if i == k:
+                continue
+            elim = f"elim[{k}][{i}]"
+            g.add_task(elim, dur(elim_d), label=f"eliminate row {i} (step {k})", step=k, row=i, kind="eliminate")
+            g.add_dependency(norm, elim, comm)
+            if i in row_update:
+                g.add_dependency(row_update[i], elim, comm)
+            row_update[i] = elim
+
+        # The right-hand-side update is a separate (shorter) vector task so the
+        # per-step task count is n + 1, matching the paper's 111 total.
+        rhs = f"rhs[{k}]"
+        g.add_task(rhs, dur(element_time * 2.0), label=f"update rhs (step {k})", step=k, kind="rhs")
+        g.add_dependency(norm, rhs, comm)
+        if ("rhs",) in row_update:
+            g.add_dependency(row_update[("rhs",)], rhs, comm)
+        row_update[("rhs",)] = rhs
+
+    collect = "solution"
+    g.add_task(collect, dur(element_time * 2.0), label="extract solution", kind="collect")
+    for i in range(n):
+        g.add_dependency(row_update[i], collect, comm)
+    g.add_dependency(row_update[("rhs",)], collect, comm)
+    return g

@@ -1,0 +1,99 @@
+"""The paper's benchmark suite: registry and Table-1 calibration targets.
+
+:data:`PAPER_PROGRAMS` maps the program names used throughout the paper to
+their generator, the calibrated default parameters and the values the paper
+reports in Table 1.  The Table-1 experiment driver iterates this registry and
+prints the generated graphs' characteristics next to the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.taskgraph.graph import TaskGraph
+from repro.workloads.fft import fft_2d
+from repro.workloads.gauss_jordan import gauss_jordan
+from repro.workloads.matmul import matrix_multiply
+from repro.workloads.newton_euler import newton_euler
+
+__all__ = ["PaperProgramSpec", "PAPER_PROGRAMS", "paper_program", "paper_program_names"]
+
+
+@dataclass(frozen=True)
+class PaperProgramSpec:
+    """One row of the paper's Table 1, plus the generator that rebuilds the graph."""
+
+    key: str
+    display_name: str
+    generator: Callable[..., TaskGraph]
+    #: Paper-reported values (Table 1)
+    paper_n_tasks: int
+    paper_avg_duration: float
+    paper_avg_comm: float
+    paper_cc_ratio_percent: float
+    paper_max_speedup: float
+
+    def build(self, seed: int = 0, **overrides) -> TaskGraph:
+        """Instantiate the calibrated task graph (optionally overriding parameters)."""
+        return self.generator(seed=seed, **overrides)
+
+
+PAPER_PROGRAMS: Dict[str, PaperProgramSpec] = {
+    "NE": PaperProgramSpec(
+        key="NE",
+        display_name="Newton-Euler",
+        generator=newton_euler,
+        paper_n_tasks=95,
+        paper_avg_duration=9.12,
+        paper_avg_comm=3.96,
+        paper_cc_ratio_percent=43.0,
+        paper_max_speedup=7.86,
+    ),
+    "GJ": PaperProgramSpec(
+        key="GJ",
+        display_name="Gauss-Jordan",
+        generator=gauss_jordan,
+        paper_n_tasks=111,
+        paper_avg_duration=84.77,
+        paper_avg_comm=6.85,
+        paper_cc_ratio_percent=8.1,
+        paper_max_speedup=9.14,
+    ),
+    "FFT": PaperProgramSpec(
+        key="FFT",
+        display_name="FFT",
+        generator=fft_2d,
+        paper_n_tasks=73,
+        paper_avg_duration=72.74,
+        paper_avg_comm=6.41,
+        paper_cc_ratio_percent=8.8,
+        paper_max_speedup=40.85,
+    ),
+    "MM": PaperProgramSpec(
+        key="MM",
+        display_name="Matrix Multiply",
+        generator=matrix_multiply,
+        paper_n_tasks=111,
+        paper_avg_duration=73.96,
+        paper_avg_comm=7.21,
+        paper_cc_ratio_percent=9.7,
+        paper_max_speedup=82.10,
+    ),
+}
+
+
+def paper_program_names() -> List[str]:
+    """The program keys in the order the paper lists them (NE, GJ, FFT, MM)."""
+    return list(PAPER_PROGRAMS.keys())
+
+
+def paper_program(key: str, seed: int = 0, **overrides) -> TaskGraph:
+    """Build the calibrated task graph for program *key* ("NE", "GJ", "FFT" or "MM")."""
+    try:
+        spec = PAPER_PROGRAMS[key.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown paper program {key!r}; choose from {paper_program_names()}"
+        ) from None
+    return spec.build(seed=seed, **overrides)

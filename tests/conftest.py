@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.model import LinearCommModel, ZeroCommModel
+from repro.machine.machine import Machine
+from repro.machine.params import CommParams
+from repro.taskgraph.graph import TaskGraph
+
+
+@pytest.fixture
+def diamond_graph() -> TaskGraph:
+    """A 4-task diamond: a -> {b, c} -> d, with communication weights."""
+    g = TaskGraph("diamond")
+    g.add_task("a", 2.0)
+    g.add_task("b", 3.0)
+    g.add_task("c", 1.0)
+    g.add_task("d", 2.0)
+    g.add_dependency("a", "b", comm=1.0)
+    g.add_dependency("a", "c", comm=1.0)
+    g.add_dependency("b", "d", comm=0.5)
+    g.add_dependency("c", "d", comm=0.5)
+    return g
+
+
+@pytest.fixture
+def chain_graph() -> TaskGraph:
+    """A 5-task chain with unit durations and unit communication."""
+    g = TaskGraph("chain5")
+    for i in range(5):
+        g.add_task(i, 1.0)
+    for i in range(4):
+        g.add_dependency(i, i + 1, comm=1.0)
+    return g
+
+
+@pytest.fixture
+def wide_graph() -> TaskGraph:
+    """One root fanning out to 6 independent tasks joined by a sink."""
+    g = TaskGraph("wide")
+    g.add_task("root", 1.0)
+    g.add_task("sink", 1.0)
+    for i in range(6):
+        g.add_task(f"w{i}", 4.0)
+        g.add_dependency("root", f"w{i}", comm=2.0)
+        g.add_dependency(f"w{i}", "sink", comm=2.0)
+    return g
+
+
+@pytest.fixture
+def hypercube8() -> Machine:
+    return Machine.hypercube(3)
+
+
+@pytest.fixture
+def ring9() -> Machine:
+    return Machine.ring(9)
+
+
+@pytest.fixture
+def bus8() -> Machine:
+    return Machine.bus(8)
+
+
+@pytest.fixture
+def two_proc_machine() -> Machine:
+    return Machine.fully_connected(2)
+
+
+@pytest.fixture
+def paper_params() -> CommParams:
+    return CommParams.paper_defaults()
+
+
+@pytest.fixture
+def linear_comm() -> LinearCommModel:
+    return LinearCommModel()
+
+
+@pytest.fixture
+def zero_comm() -> ZeroCommModel:
+    return ZeroCommModel()

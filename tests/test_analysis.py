@@ -1,0 +1,101 @@
+"""Tests for metrics, policy comparison, trajectory capture and reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import compare_policies, run_policy
+from repro.analysis.metrics import efficiency, percent_gain, schedule_length_ratio, speedup
+from repro.analysis.report import comparison_table, properties_table
+from repro.analysis.trajectory import record_packet_trajectory
+from repro.core.config import SAConfig
+from repro.core.sa_scheduler import SAScheduler
+from repro.machine.machine import Machine
+from repro.schedulers.hlf import HLFScheduler
+from repro.taskgraph import generators as gen
+from repro.taskgraph.properties import graph_properties
+from repro.workloads.newton_euler import newton_euler
+
+
+class TestMetrics:
+    def test_speedup_and_efficiency(self):
+        assert speedup(100.0, 25.0) == pytest.approx(4.0)
+        assert efficiency(100.0, 25.0, 8) == pytest.approx(0.5)
+
+    def test_speedup_validation(self):
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+        with pytest.raises(ValueError):
+            speedup(-1.0, 5.0)
+        with pytest.raises(ValueError):
+            efficiency(10.0, 5.0, 0)
+
+    def test_percent_gain(self):
+        assert percent_gain(5.6, 4.9) == pytest.approx(14.2857, rel=1e-3)
+        assert percent_gain(4.0, 4.0) == 0.0
+        with pytest.raises(ValueError):
+            percent_gain(1.0, 0.0)
+
+    def test_schedule_length_ratio(self):
+        assert schedule_length_ratio(20.0, 10.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            schedule_length_ratio(20.0, 0.0)
+
+
+class TestComparison:
+    def test_compare_policies_runs_all(self, hypercube8):
+        graph = gen.layered_random(3, 5, seed=0, mean_comm=4.0)
+        comparison = compare_policies(
+            graph,
+            hypercube8,
+            [SAScheduler(SAConfig(seed=0)), HLFScheduler()],
+            with_communication=True,
+        )
+        assert set(comparison.policy_names()) == {"SA", "HLF"}
+        assert comparison.speedup("SA") > 0
+        assert isinstance(comparison.gain_percent("SA", "HLF"), float)
+        assert comparison.comm_enabled
+
+    def test_compare_without_communication(self, hypercube8):
+        graph = gen.fork_join(8, branch_duration=2.0)
+        comparison = compare_policies(
+            graph, hypercube8, [HLFScheduler()], with_communication=False
+        )
+        assert not comparison.comm_enabled
+
+    def test_run_policy_record_trace_flag(self, hypercube8):
+        graph = gen.fork_join(4)
+        result = run_policy(graph, hypercube8, HLFScheduler(), record_trace=True)
+        assert result.trace is not None
+
+
+class TestTrajectory:
+    def test_record_packet_trajectory_curves_decrease(self, hypercube8):
+        graph = newton_euler(n_joints=3)
+        traj = record_packet_trajectory(graph, hypercube8, config=SAConfig.paper_defaults(seed=0))
+        assert traj.n_points > 0
+        assert len(traj.balance_cost) == len(traj.total_cost) == traj.n_points
+        # annealing must not end with a worse total cost than it started with
+        assert traj.total_cost[-1] <= traj.total_cost[0] + 1e-9
+
+    def test_packet_selector_variants(self, hypercube8):
+        graph = newton_euler(n_joints=2)
+        first = record_packet_trajectory(graph, hypercube8, packet_selector="first")
+        longest = record_packet_trajectory(graph, hypercube8, packet_selector="longest")
+        assert first.packet_index == 0
+        assert longest.n_points >= 1
+
+
+class TestReports:
+    def test_properties_table_lists_programs(self):
+        props = [graph_properties(newton_euler(n_joints=2))]
+        text = properties_table(props, title="Table 1")
+        assert "Table 1" in text and "newton-euler" in text
+
+    def test_comparison_table_contains_gain(self, hypercube8):
+        graph = gen.layered_random(3, 4, seed=1, mean_comm=4.0)
+        comparison = compare_policies(
+            graph, hypercube8, [SAScheduler(SAConfig(seed=0)), HLFScheduler()]
+        )
+        text = comparison_table([comparison], policy="SA", baseline="HLF")
+        assert "% gain" in text and "hypercube-8" in text

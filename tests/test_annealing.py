@@ -1,0 +1,227 @@
+"""Tests for the generic simulated-annealing framework."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annealing.acceptance import (
+    BoltzmannSigmoidAcceptance,
+    GreedyAcceptance,
+    MetropolisAcceptance,
+)
+from repro.annealing.annealer import Annealer, AnnealingRecord
+from repro.annealing.cooling import (
+    ConstantTemperature,
+    GeometricCooling,
+    LinearCooling,
+    LogarithmicCooling,
+)
+from repro.annealing.problem import AnnealingProblem
+from repro.annealing.stopping import (
+    CombinedStopping,
+    MaxIterationsStopping,
+    StallStopping,
+)
+
+
+class TestAcceptance:
+    def test_sigmoid_matches_equation_1(self):
+        rule = BoltzmannSigmoidAcceptance()
+        assert rule.probability(0.0, 1.0) == pytest.approx(0.5)
+        assert rule.probability(1.0, 1.0) == pytest.approx(1.0 / (1.0 + math.e))
+        assert rule.probability(-1.0, 1.0) == pytest.approx(1.0 - 1.0 / (1.0 + math.e))
+
+    def test_sigmoid_zero_temperature_limit(self):
+        # equation 2: deterministic acceptance of improving moves only
+        rule = BoltzmannSigmoidAcceptance()
+        assert rule.probability(-0.5, 0.0) == 1.0
+        assert rule.probability(0.5, 0.0) == 0.0
+        assert rule.probability(0.0, 0.0) == 0.0
+
+    def test_sigmoid_infinite_temperature_limit(self):
+        rule = BoltzmannSigmoidAcceptance()
+        assert rule.probability(123.0, math.inf) == 0.5
+        assert rule.probability(-123.0, math.inf) == 0.5
+
+    def test_sigmoid_extreme_exponent_no_overflow(self):
+        rule = BoltzmannSigmoidAcceptance()
+        assert rule.probability(1e9, 1e-6) == 0.0
+        assert rule.probability(-1e9, 1e-6) == 1.0
+
+    def test_sigmoid_negative_temperature_rejected(self):
+        with pytest.raises(ValueError):
+            BoltzmannSigmoidAcceptance().probability(0.0, -1.0)
+
+    def test_metropolis(self):
+        rule = MetropolisAcceptance()
+        assert rule.probability(-1.0, 0.5) == 1.0
+        assert rule.probability(1.0, 1.0) == pytest.approx(math.exp(-1.0))
+        assert rule.probability(1.0, 0.0) == 0.0
+
+    def test_greedy(self):
+        rule = GreedyAcceptance()
+        assert rule.probability(-0.1, 100.0) == 1.0
+        assert rule.probability(0.1, 100.0) == 0.0
+
+    def test_accept_uses_rng(self):
+        rule = BoltzmannSigmoidAcceptance()
+        rng = np.random.default_rng(0)
+        draws = [rule.accept(0.0, 1.0, rng) for _ in range(200)]
+        # probability 0.5: both outcomes must occur
+        assert any(draws) and not all(draws)
+
+    @given(delta=st.floats(-50, 50), temp=st.floats(0.01, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_are_valid_and_monotone(self, delta, temp):
+        rule = BoltzmannSigmoidAcceptance()
+        p = rule.probability(delta, temp)
+        assert 0.0 <= p <= 1.0
+        # worse moves are never more likely than better ones
+        assert rule.probability(delta + 1.0, temp) <= p + 1e-12
+
+
+class TestCooling:
+    def test_geometric(self):
+        c = GeometricCooling(alpha=0.5)
+        assert c.sequence(3, 8.0) == [8.0, 4.0, 2.0]
+
+    def test_geometric_alpha_validation(self):
+        with pytest.raises(ValueError):
+            GeometricCooling(alpha=1.0)
+        with pytest.raises(ValueError):
+            GeometricCooling(alpha=0.0)
+
+    def test_linear_hits_floor(self):
+        c = LinearCooling(step=1.0, floor=0.5)
+        assert c.temperature(10, 2.0) == 0.5
+
+    def test_logarithmic_decreasing(self):
+        c = LogarithmicCooling()
+        temps = c.sequence(10, 5.0)
+        assert all(a >= b for a, b in zip(temps, temps[1:]))
+
+    def test_constant(self):
+        c = ConstantTemperature()
+        assert c.temperature(100, 3.0) == 3.0
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            GeometricCooling().temperature(-1, 1.0)
+
+
+class TestStopping:
+    def test_stall_stopping(self):
+        rule = StallStopping(patience=3)
+        rule.reset()
+        costs = [5.0, 4.0, 4.0, 4.0, 4.0]
+        decisions = [rule.should_stop(i, c) for i, c in enumerate(costs)]
+        assert decisions == [False, False, False, False, True]
+
+    def test_stall_resets_on_change(self):
+        rule = StallStopping(patience=2)
+        rule.reset()
+        assert not rule.should_stop(0, 1.0)
+        assert not rule.should_stop(1, 1.0)
+        assert not rule.should_stop(2, 0.5)  # change resets the counter
+        assert not rule.should_stop(3, 0.5)
+        assert rule.should_stop(4, 0.5)
+
+    def test_max_iterations(self):
+        rule = MaxIterationsStopping(3)
+        assert not rule.should_stop(0, 1.0)
+        assert not rule.should_stop(1, 1.0)
+        assert rule.should_stop(2, 1.0)
+
+    def test_combined_any(self):
+        rule = CombinedStopping([StallStopping(patience=10), MaxIterationsStopping(2)])
+        rule.reset()
+        assert not rule.should_stop(0, 1.0)
+        assert rule.should_stop(1, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StallStopping(patience=0)
+        with pytest.raises(ValueError):
+            MaxIterationsStopping(0)
+        with pytest.raises(ValueError):
+            CombinedStopping([])
+
+
+class _QuadraticProblem(AnnealingProblem):
+    """Minimize (x - 3)^2 over integers via +-1 moves — a sanity problem."""
+
+    def initial_state(self, rng):
+        return 20
+
+    def propose(self, state, rng):
+        return state + int(rng.choice([-1, 1]))
+
+    def cost(self, state):
+        return float((state - 3) ** 2)
+
+
+class TestAnnealer:
+    def test_finds_near_optimum_of_quadratic(self):
+        annealer = Annealer(
+            moves_per_temperature=30,
+            initial_temperature=10.0,
+            stopping=MaxIterationsStopping(60),
+        )
+        result = annealer.run(_QuadraticProblem(), seed=1)
+        assert abs(result.best_state - 3) <= 1
+        assert result.best_cost <= 1.0
+
+    def test_best_cost_never_worse_than_final(self):
+        annealer = Annealer(moves_per_temperature=10, initial_temperature=5.0)
+        result = annealer.run(_QuadraticProblem(), seed=2)
+        assert result.best_cost <= result.final_cost + 1e-12
+
+    def test_deterministic_given_seed(self):
+        annealer = Annealer(moves_per_temperature=10, initial_temperature=5.0)
+        r1 = annealer.run(_QuadraticProblem(), seed=7)
+        r2 = annealer.run(_QuadraticProblem(), seed=7)
+        assert r1.best_state == r2.best_state
+        assert r1.n_proposals == r2.n_proposals
+
+    def test_trajectory_recording(self):
+        annealer = Annealer(
+            moves_per_temperature=5,
+            initial_temperature=5.0,
+            stopping=MaxIterationsStopping(4),
+            record_trajectory=True,
+        )
+        result = annealer.run(_QuadraticProblem(), seed=3)
+        assert len(result.trajectory) == result.n_proposals == 20
+        assert all(isinstance(r, AnnealingRecord) for r in result.trajectory)
+
+    def test_callback_receives_state(self):
+        seen = []
+        annealer = Annealer(
+            moves_per_temperature=5,
+            initial_temperature=5.0,
+            stopping=MaxIterationsStopping(2),
+        )
+        annealer.run(_QuadraticProblem(), seed=3, callback=lambda rec, state: seen.append(state))
+        assert len(seen) == 10
+        assert all(isinstance(s, int) for s in seen)
+
+    def test_acceptance_ratio_between_zero_and_one(self):
+        annealer = Annealer(moves_per_temperature=10, initial_temperature=1.0)
+        result = annealer.run(_QuadraticProblem(), seed=4)
+        assert 0.0 <= result.acceptance_ratio <= 1.0
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            Annealer(moves_per_temperature=0)
+        with pytest.raises(ValueError):
+            Annealer(initial_temperature=-1.0).run(_QuadraticProblem(), seed=0)
+
+    def test_default_initial_temperature_estimation(self):
+        problem = _QuadraticProblem()
+        t0 = problem.initial_temperature(np.random.default_rng(0))
+        assert t0 > 0

@@ -1,0 +1,78 @@
+"""Tests for the equation-4 communication cost model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.model import LinearCommModel, ZeroCommModel, effective_comm_cost
+from repro.machine.machine import Machine
+from repro.machine.params import CommParams
+
+
+class TestEffectiveCommCost:
+    def test_same_processor_is_free(self, paper_params):
+        # d = 0, delta = 1: every term vanishes (paper's co-location case)
+        assert effective_comm_cost(10.0, 0, True, paper_params) == pytest.approx(0.0)
+
+    def test_neighbor_cost(self, paper_params):
+        # d = 1, delta = 0: w + sigma, no routing term
+        assert effective_comm_cost(4.0, 1, False, paper_params) == pytest.approx(4.0 + 7.0)
+
+    def test_two_hop_cost(self, paper_params):
+        # d = 2: 2w + tau + sigma
+        assert effective_comm_cost(4.0, 2, False, paper_params) == pytest.approx(8.0 + 9.0 + 7.0)
+
+    def test_three_hop_cost(self, paper_params):
+        assert effective_comm_cost(4.0, 3, False, paper_params) == pytest.approx(
+            12.0 + 2 * 9.0 + 7.0
+        )
+
+    def test_zero_weight_still_pays_overheads(self, paper_params):
+        # a zero-length message still needs setup and routing
+        assert effective_comm_cost(0.0, 2, False, paper_params) == pytest.approx(9.0 + 7.0)
+
+    def test_negative_inputs_rejected(self, paper_params):
+        with pytest.raises(ValueError):
+            effective_comm_cost(-1.0, 1, False, paper_params)
+        with pytest.raises(ValueError):
+            effective_comm_cost(1.0, -1, False, paper_params)
+
+    @given(w=st.floats(0, 100), d=st.integers(1, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_cost_monotone_in_weight_and_distance(self, w, d):
+        p = CommParams.paper_defaults()
+        c = effective_comm_cost(w, d, False, p)
+        assert c >= effective_comm_cost(w, d - 1, d == 1, p) or d == 1
+        assert effective_comm_cost(w + 1.0, d, False, p) > c
+
+
+class TestModels:
+    def test_linear_model_uses_machine_distance(self, hypercube8):
+        model = LinearCommModel()
+        # processors 0 and 7 are 3 hops apart in the 3-cube
+        expected = effective_comm_cost(4.0, 3, False, hypercube8.params)
+        assert model.cost(hypercube8, 4.0, 0, 7) == pytest.approx(expected)
+
+    def test_linear_model_same_proc_free(self, hypercube8):
+        assert LinearCommModel().cost(hypercube8, 4.0, 5, 5) == 0.0
+
+    def test_zero_model(self, hypercube8):
+        model = ZeroCommModel()
+        assert model.cost(hypercube8, 100.0, 0, 7) == 0.0
+        assert not model.enabled
+
+    def test_linear_model_enabled_flag(self):
+        assert LinearCommModel().enabled
+
+    def test_bus_versus_hypercube_distance_effect(self):
+        bus = Machine.bus(8)
+        cube = Machine.hypercube(3)
+        model = LinearCommModel()
+        # two non-hub bus processors are always two hops apart
+        assert model.cost(bus, 4.0, 1, 2) == pytest.approx(
+            effective_comm_cost(4.0, 2, False, bus.params)
+        )
+        # neighbouring hypercube nodes are cheaper
+        assert model.cost(cube, 4.0, 0, 1) < model.cost(bus, 4.0, 1, 2)

@@ -1,0 +1,112 @@
+"""Tests for the experiment drivers (Tables 1-2, Figures 1-2).
+
+Table 2 over the full paper suite is expensive; the tests here run scaled-down
+variants (fewer programs / smaller instances) and check the structure of the
+outputs.  The full-size regenerations live in benchmarks/.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import format_figure1, run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import (
+    PAPER_TABLE2,
+    format_table2,
+    paper_table2_reference,
+    run_table2,
+)
+from repro.machine.machine import Machine
+
+
+class TestTable1:
+    def test_rows_cover_all_programs(self):
+        rows = run_table1()
+        assert [r.program for r in rows] == [
+            "Newton-Euler",
+            "Gauss-Jordan",
+            "FFT",
+            "Matrix Multiply",
+        ]
+
+    def test_task_counts_match_paper_exactly(self):
+        for row in run_table1():
+            assert row.n_tasks == row.paper_n_tasks
+
+    def test_calibrated_averages_within_tolerance(self):
+        for row in run_table1():
+            assert row.avg_duration == pytest.approx(row.paper_avg_duration, rel=0.15)
+            assert row.avg_comm == pytest.approx(row.paper_avg_comm, rel=0.15)
+
+    def test_format_contains_headers(self):
+        text = format_table1()
+        assert "Table 1" in text
+        assert "Newton-Euler" in text and "Max" in text
+
+
+class TestTable2:
+    def test_reference_values_exposed(self):
+        assert paper_table2_reference("NE", "Ring (9p)") == (8.00, 8.00, 5.5, 3.6)
+        assert set(PAPER_TABLE2) == {"NE", "GJ", "MM", "FFT"}
+
+    def test_single_program_block_structure(self):
+        blocks = run_table2(
+            programs=["FFT"],
+            sa_weights=(0.5,),
+            hlf_placement_seeds=(0,),
+        )
+        assert len(blocks) == 1
+        block = blocks[0]
+        assert block.program == "FFT"
+        assert len(block.cells) == 6  # 3 architectures x 2 comm settings
+        for arch in ("Hypercube (8p)", "Bus (8p)", "Ring (9p)"):
+            wo = block.cell(arch, with_communication=False)
+            wi = block.cell(arch, with_communication=True)
+            assert wo.speedup_sa > 0 and wi.speedup_hlf > 0
+            # without communication SA matches HLF (paper's first observation)
+            assert wo.speedup_sa == pytest.approx(wo.speedup_hlf, rel=0.02)
+            # with communication, speedups drop
+            assert wi.speedup_sa <= wo.speedup_sa + 1e-9
+
+    def test_missing_cell_raises(self):
+        blocks = run_table2(programs=["FFT"], sa_weights=(0.5,), hlf_placement_seeds=(0,))
+        with pytest.raises(KeyError):
+            blocks[0].cell("Nonexistent", True)
+
+    def test_format_produces_one_section_per_program(self):
+        blocks = run_table2(programs=["FFT"], sa_weights=(0.5,), hlf_placement_seeds=(0,))
+        text = format_table2(blocks)
+        assert text.count("Table 2 -") == 1
+        assert "% gain" in text
+
+
+class TestFigure1:
+    def test_trajectory_and_stats(self):
+        result = run_figure1(program="NE", machine=Machine.hypercube(3))
+        assert result.trajectory.n_points > 0
+        assert result.n_packets > 0
+        assert result.average_candidates > 0
+        assert result.average_idle_processors >= 1.0
+        # both component costs must not increase over the annealing of the packet
+        b0, c0, t0 = result.trajectory.initial_costs()
+        b1, c1, t1 = result.trajectory.final_costs()
+        assert t1 <= t0 + 1e-9
+
+    def test_format_mentions_costs(self):
+        text = format_figure1(run_figure1())
+        assert "Figure 1" in text
+        assert "Communication cost" in text
+        assert "annealing packets" in text
+
+
+class TestFigure2:
+    def test_gantt_chart_rendered(self):
+        fig = run_figure2(width=60, detail_fraction=0.3)
+        assert fig.result.makespan > 0
+        assert fig.chart.count("\n") >= 8  # one line per processor + header
+        assert "P0" in fig.chart
+        # the contention-fidelity trace records communication overheads
+        assert len(fig.result.trace.overhead_records) > 0
+        fig.result.trace.validate()

@@ -1,0 +1,152 @@
+"""Tests for the random/structured task-graph generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TaskGraphError
+from repro.taskgraph import generators as gen
+from repro.taskgraph.properties import graph_width, parallelism_profile
+
+
+class TestChainForkDiamond:
+    def test_chain_structure(self):
+        g = gen.chain(4, duration=2.0, comm=1.0)
+        assert g.n_tasks == 4 and g.n_edges == 3
+        assert g.critical_path_length() == pytest.approx(8.0)
+
+    def test_chain_needs_one_task(self):
+        with pytest.raises(TaskGraphError):
+            gen.chain(0)
+
+    def test_independent_tasks(self):
+        g = gen.independent_tasks(7)
+        assert g.n_tasks == 7 and g.n_edges == 0
+        assert graph_width(g) == 7
+
+    def test_fork_join(self):
+        g = gen.fork_join(5, branch_duration=2.0, root_duration=1.0)
+        assert g.n_tasks == 7
+        assert g.entry_tasks() == ["fork"]
+        assert g.exit_tasks() == ["join"]
+        assert g.critical_path_length() == pytest.approx(4.0)
+
+    def test_diamond_widths(self):
+        g = gen.diamond(3)
+        profile = parallelism_profile(g)
+        assert profile == [1, 2, 3, 4, 3, 2, 1]
+        assert g.is_acyclic()
+
+    def test_diamond_depth_validation(self):
+        with pytest.raises(TaskGraphError):
+            gen.diamond(0)
+
+
+class TestTrees:
+    def test_intree_counts(self):
+        g = gen.intree(depth=3, branching=2)
+        assert g.n_tasks == 15
+        # leaves are the entries, the root is the single exit
+        assert len(g.entry_tasks()) == 8
+        assert g.exit_tasks() == [(0, 0)]
+
+    def test_outtree_is_reverse_of_intree(self):
+        g = gen.outtree(depth=2, branching=3)
+        assert g.n_tasks == 13
+        assert g.entry_tasks() == [(0, 0)]
+        assert len(g.exit_tasks()) == 9
+
+    def test_tree_validation(self):
+        with pytest.raises(TaskGraphError):
+            gen.intree(-1)
+        with pytest.raises(TaskGraphError):
+            gen.outtree(2, branching=0)
+
+
+class TestRandomGenerators:
+    def test_layered_random_shape(self):
+        g = gen.layered_random(4, 5, seed=3)
+        assert g.n_tasks == 20
+        assert g.is_acyclic()
+        # every non-entry task has at least one predecessor in the previous layer
+        for (layer, j) in g.tasks:
+            if layer > 0:
+                assert g.in_degree((layer, j)) >= 1
+
+    def test_layered_random_deterministic(self):
+        a = gen.layered_random(3, 4, seed=11)
+        b = gen.layered_random(3, 4, seed=11)
+        assert list(a.edges()) == list(b.edges())
+        assert [a.duration(t) for t in a.tasks] == [b.duration(t) for t in b.tasks]
+
+    def test_layered_random_validation(self):
+        with pytest.raises(TaskGraphError):
+            gen.layered_random(0, 3)
+        with pytest.raises(ValueError):
+            gen.layered_random(2, 2, edge_probability=1.5)
+
+    def test_random_dag_acyclic_and_sized(self):
+        g = gen.random_dag(30, edge_probability=0.2, seed=5)
+        assert g.n_tasks == 30
+        assert g.is_acyclic()
+
+    def test_random_dag_edge_probability_extremes(self):
+        empty = gen.random_dag(10, edge_probability=0.0, seed=1)
+        assert empty.n_edges == 0
+        full = gen.random_dag(10, edge_probability=1.0, seed=1)
+        assert full.n_edges == 45  # complete DAG
+
+    def test_series_parallel(self):
+        g = gen.series_parallel(depth=2, fanout=2, seed=7)
+        assert g.is_acyclic()
+        assert len(g.entry_tasks()) == 1
+        assert len(g.exit_tasks()) == 1
+
+    def test_series_parallel_depth_zero_single_task(self):
+        g = gen.series_parallel(depth=0, seed=1)
+        assert g.n_tasks == 1
+
+
+class TestGrahamAnomaly:
+    def test_instance_shape(self):
+        g = gen.graham_anomaly_graph()
+        assert g.n_tasks == 9
+        assert g.duration(9) == 9.0
+        assert g.is_acyclic()
+        # T5..T8 depend on both T3 and T4
+        for t in (5, 6, 7, 8):
+            assert set(g.predecessors(t)) == {3, 4}
+
+
+class TestGeneratorProperties:
+    """Property-based checks over the generator family."""
+
+    @given(
+        n_layers=st.integers(1, 6),
+        width=st.integers(1, 6),
+        p=st.floats(0.0, 1.0),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_layered_random_always_valid(self, n_layers, width, p, seed):
+        g = gen.layered_random(n_layers, width, edge_probability=p, seed=seed)
+        g.validate()
+        assert g.n_tasks == n_layers * width
+
+    @given(n=st.integers(1, 40), p=st.floats(0.0, 0.5), seed=st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_dag_always_valid(self, n, p, seed):
+        g = gen.random_dag(n, edge_probability=p, seed=seed)
+        g.validate()
+        assert g.n_tasks == n
+        assert all(g.duration(t) > 0 for t in g.tasks)
+
+    @given(depth=st.integers(0, 4), branching=st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_intree_task_count_formula(self, depth, branching):
+        g = gen.intree(depth, branching)
+        expected = sum(branching**l for l in range(depth + 1))
+        assert g.n_tasks == expected
+        g.validate()

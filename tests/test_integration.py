@@ -1,0 +1,135 @@
+"""End-to-end integration tests reproducing the paper's qualitative claims.
+
+These tests exercise the full stack (workload generator -> machine model ->
+SA / HLF schedulers -> discrete-event simulator -> metrics) on reduced-size
+instances so the suite stays fast, and assert the paper's headline claims:
+
+1. Without communication cost, SA matches HLF.
+2. With communication cost, SA does not lose to the (arbitrary-placement)
+   HLF baseline on the paper workloads, and wins clearly on the
+   communication-heavy Newton-Euler graph.
+3. Schedules are always valid (precedence, no overlap, messages arrive first).
+4. The SA scheduler resolves the Graham list-scheduling anomaly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.comm.model import LinearCommModel, ZeroCommModel
+from repro.core.config import SAConfig
+from repro.core.sa_scheduler import SAScheduler
+from repro.machine.machine import Machine
+from repro.schedulers.hlf import HLFScheduler
+from repro.sim.engine import simulate
+from repro.taskgraph.generators import graham_anomaly_graph
+from repro.workloads.newton_euler import newton_euler
+from repro.workloads.suite import paper_program
+
+
+def hlf_mean_speedup(graph, machine, comm_model, seeds=(0, 1, 2)):
+    return float(
+        np.mean(
+            [
+                simulate(graph, machine, HLFScheduler(seed=s), comm_model=comm_model,
+                         record_trace=False).speedup()
+                for s in seeds
+            ]
+        )
+    )
+
+
+def sa_best_speedup(graph, machine, comm_model, weights=(0.3, 0.5, 0.7), seed=1):
+    best = 0.0
+    for wc in weights:
+        cfg = SAConfig.paper_defaults(seed=seed).with_weights(1.0 - wc, wc)
+        sp = simulate(graph, machine, SAScheduler(cfg), comm_model=comm_model,
+                      record_trace=False).speedup()
+        best = max(best, sp)
+    return best
+
+
+class TestPaperClaims:
+    def test_sa_matches_hlf_without_communication(self, hypercube8):
+        graph = newton_euler()
+        sa = sa_best_speedup(graph, hypercube8, ZeroCommModel(), weights=(0.5,))
+        hlf = hlf_mean_speedup(graph, hypercube8, ZeroCommModel(), seeds=(0,))
+        assert sa == pytest.approx(hlf, rel=0.02)
+
+    def test_sa_beats_hlf_on_newton_euler_with_communication(self, hypercube8):
+        graph = newton_euler()
+        sa = sa_best_speedup(graph, hypercube8, LinearCommModel())
+        hlf = hlf_mean_speedup(graph, hypercube8, LinearCommModel())
+        assert sa > hlf * 1.05  # paper reports +14.3 % on the hypercube
+
+    def test_sa_does_not_lose_on_fft_with_communication(self):
+        graph = paper_program("FFT", n_vectors=20)
+        machine = Machine.hypercube(3)
+        sa = sa_best_speedup(graph, machine, LinearCommModel())
+        hlf = hlf_mean_speedup(graph, machine, LinearCommModel())
+        assert sa >= hlf * 0.98
+
+    def test_communication_reduces_speedup(self, hypercube8):
+        graph = newton_euler()
+        with_comm = sa_best_speedup(graph, hypercube8, LinearCommModel(), weights=(0.5,))
+        without = sa_best_speedup(graph, hypercube8, ZeroCommModel(), weights=(0.5,))
+        assert with_comm < without
+
+    def test_speedup_bounded_by_processors_and_max_speedup(self, hypercube8):
+        graph = newton_euler()
+        for comm in (ZeroCommModel(), LinearCommModel()):
+            result = simulate(graph, hypercube8, SAScheduler(SAConfig(seed=0)), comm_model=comm,
+                              record_trace=False)
+            assert result.speedup() <= hypercube8.n_processors + 1e-9
+            assert result.speedup() <= graph.total_work() / graph.critical_path_length() + 1e-9
+
+    def test_schedules_valid_on_all_three_architectures(self):
+        graph = newton_euler(n_joints=4)
+        for machine in Machine.paper_architectures().values():
+            result = simulate(
+                graph, machine, SAScheduler(SAConfig(seed=0)), comm_model=LinearCommModel()
+            )
+            result.trace.validate(graph)
+            assert len(result.task_processor) == graph.n_tasks
+
+
+class TestGrahamAnomaly:
+    """The paper notes SA optimally resolves Graham's list-scheduling anomalies."""
+
+    def test_sa_at_least_as_good_as_hlf_on_anomaly_instance(self):
+        graph = graham_anomaly_graph()
+        machine = Machine.fully_connected(3)
+        hlf = simulate(graph, machine, HLFScheduler(), comm_model=ZeroCommModel(),
+                       record_trace=False)
+        sa = simulate(graph, machine, SAScheduler(SAConfig(seed=2)), comm_model=ZeroCommModel(),
+                      record_trace=False)
+        assert sa.makespan <= hlf.makespan + 1e-9
+
+    def test_anomaly_lower_bound_respected(self):
+        graph = graham_anomaly_graph()
+        machine = Machine.fully_connected(3)
+        result = simulate(graph, machine, SAScheduler(SAConfig(seed=2)), comm_model=ZeroCommModel(),
+                          record_trace=False)
+        # total work 34 on 3 processors: no schedule can beat ceil(34/3)
+        assert result.makespan >= graph.total_work() / 3 - 1e-9
+
+
+class TestDeterminism:
+    def test_sa_simulation_reproducible_end_to_end(self, hypercube8):
+        graph = newton_euler(n_joints=3)
+        results = [
+            simulate(graph, hypercube8, SAScheduler(SAConfig(seed=42)), comm_model=LinearCommModel(),
+                     record_trace=False).makespan
+            for _ in range(2)
+        ]
+        assert results[0] == pytest.approx(results[1])
+
+    def test_different_seeds_may_differ(self, hypercube8):
+        graph = newton_euler(n_joints=3)
+        m1 = simulate(graph, hypercube8, SAScheduler(SAConfig(seed=1)), comm_model=LinearCommModel(),
+                      record_trace=False).makespan
+        m2 = simulate(graph, hypercube8, SAScheduler(SAConfig(seed=2)), comm_model=LinearCommModel(),
+                      record_trace=False).makespan
+        # not asserting inequality (they may tie) — only that both are valid
+        assert m1 > 0 and m2 > 0

@@ -1,0 +1,116 @@
+"""Tests for task-graph serialization and transformations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TaskGraphError
+from repro.taskgraph import generators as gen
+from repro.taskgraph import io, transform
+from repro.taskgraph.graph import TaskGraph
+
+
+class TestJsonRoundtrip:
+    def test_dict_roundtrip(self, diamond_graph):
+        data = io.to_dict(diamond_graph)
+        back = io.from_dict(data)
+        assert back.n_tasks == 4 and back.n_edges == 4
+        assert back.duration("b") == 3.0
+        assert back.comm("b", "d") == 0.5
+
+    def test_file_roundtrip(self, tmp_path, diamond_graph):
+        path = tmp_path / "g.json"
+        io.save_json(diamond_graph, path)
+        back = io.load_json(path)
+        assert back.name == diamond_graph.name
+        assert set(back.tasks) == set(diamond_graph.tasks)
+
+    def test_from_dict_missing_keys(self):
+        with pytest.raises(TaskGraphError):
+            io.from_dict({"name": "x"})
+
+    def test_attrs_preserved(self):
+        g = TaskGraph("attrs")
+        g.add_task("a", 1.0, "label-a", joint=3)
+        back = io.from_dict(io.to_dict(g))
+        assert back.task("a").attrs["joint"] == 3
+        assert back.task("a").label == "label-a"
+
+
+class TestDotAndEdgeList:
+    def test_dot_contains_nodes_and_edges(self, diamond_graph):
+        dot = io.to_dot(diamond_graph)
+        assert dot.startswith("digraph")
+        assert '"a" -> "b"' in dot
+        assert 'label="1' in dot  # comm label shown
+
+    def test_dot_without_comm_labels(self, diamond_graph):
+        dot = io.to_dot(diamond_graph, show_comm=False)
+        assert "label=\"1\"" not in dot.split("\n", 2)[2]
+
+    def test_edge_list_roundtrip(self, chain_graph):
+        text = io.to_edge_list(chain_graph)
+        back = io.from_edge_list(text)
+        assert back.n_tasks == 5 and back.n_edges == 4
+        assert back.comm(0, 1) == 1.0
+
+    def test_edge_list_bad_line(self):
+        with pytest.raises(TaskGraphError):
+            io.from_edge_list("task a 1\nnonsense line here\n")
+
+    def test_edge_list_ignores_comments_and_blanks(self):
+        g = io.from_edge_list("# comment\n\ntask a 2\ntask b 1\nedge a b 0.5\n")
+        assert g.n_tasks == 2 and g.comm("a", "b") == 0.5
+
+
+class TestTransform:
+    def test_without_communication(self, diamond_graph):
+        g = transform.without_communication(diamond_graph)
+        assert g.total_communication() == 0.0
+        assert g.total_work() == diamond_graph.total_work()
+        assert g.n_edges == diamond_graph.n_edges
+
+    def test_scale_durations(self, diamond_graph):
+        g = transform.scale_durations(diamond_graph, 2.0)
+        assert g.total_work() == pytest.approx(16.0)
+        assert g.total_communication() == pytest.approx(3.0)
+
+    def test_scale_communication(self, diamond_graph):
+        g = transform.scale_communication(diamond_graph, 3.0)
+        assert g.total_communication() == pytest.approx(9.0)
+        assert g.total_work() == pytest.approx(8.0)
+
+    def test_scale_negative_rejected(self, diamond_graph):
+        with pytest.raises(ValueError):
+            transform.scale_durations(diamond_graph, -1.0)
+
+    def test_uniform_communication(self, diamond_graph):
+        g = transform.with_uniform_communication(diamond_graph, 2.5)
+        assert all(w == 2.5 for _, _, w in g.edges())
+
+    def test_merge_serial_chains_collapses_chain(self):
+        g = gen.chain(5, duration=1.0, comm=1.0)
+        merged = transform.merge_serial_chains(g)
+        assert merged.n_tasks == 1
+        assert merged.duration(0) == pytest.approx(5.0)
+
+    def test_merge_serial_chains_preserves_diamond(self, diamond_graph):
+        merged = transform.merge_serial_chains(diamond_graph)
+        # no pure chains in a diamond: structure unchanged
+        assert merged.n_tasks == 4
+        assert merged.n_edges == 4
+
+    def test_merge_serial_chains_mixed(self):
+        # fork -> (a1 -> a2), (b1) -> join : the a-chain collapses
+        g = TaskGraph("mixed")
+        for t in ("f", "a1", "a2", "b1", "j"):
+            g.add_task(t, 1.0)
+        g.add_dependency("f", "a1", 1.0)
+        g.add_dependency("a1", "a2", 1.0)
+        g.add_dependency("a2", "j", 1.0)
+        g.add_dependency("f", "b1", 1.0)
+        g.add_dependency("b1", "j", 1.0)
+        merged = transform.merge_serial_chains(g)
+        assert merged.n_tasks == 4
+        assert merged.duration("a1") == pytest.approx(2.0)
+        merged.validate()

@@ -1,0 +1,219 @@
+"""Tests for topologies, routing, communication parameters and the Machine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MachineError, TopologyError
+from repro.machine.machine import Machine
+from repro.machine.params import CommParams
+from repro.machine.routing import all_pairs_hop_distance, routing_table, shortest_path
+from repro.machine.topology import Topology
+
+
+class TestCommParams:
+    def test_paper_defaults_sigma_tau(self):
+        p = CommParams.paper_defaults()
+        assert p.sigma == pytest.approx(7.0)
+        assert p.tau == pytest.approx(9.0)
+
+    def test_word_transfer_time(self):
+        p = CommParams.paper_defaults()
+        # 40 bits over 10 bits/us = 4 us per variable
+        assert p.word_transfer_time(1) == pytest.approx(4.0)
+        assert p.word_transfer_time(2.5) == pytest.approx(10.0)
+
+    def test_zero_overhead(self):
+        p = CommParams.zero_overhead()
+        assert p.sigma == 0.0 and p.tau == 0.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            CommParams(context_switch=-1)
+        with pytest.raises(ValueError):
+            CommParams(bandwidth_bits_per_us=0)
+
+
+class TestTopologyConstructors:
+    def test_hypercube_degree_and_size(self):
+        t = Topology.hypercube(3)
+        assert t.n_processors == 8
+        assert all(t.degree(i) == 3 for i in range(8))
+        assert t.n_links == 12
+
+    def test_hypercube_dimension_zero(self):
+        t = Topology.hypercube(0)
+        assert t.n_processors == 1 and t.n_links == 0
+
+    def test_ring_structure(self):
+        t = Topology.ring(9)
+        assert t.n_processors == 9
+        assert all(t.degree(i) == 2 for i in range(9))
+        assert t.has_link(0, 8)
+
+    def test_ring_of_two(self):
+        t = Topology.ring(2)
+        assert t.n_links == 1
+
+    def test_bus_is_star_with_hub_zero(self):
+        t = Topology.bus(8)
+        assert t.degree(0) == 7
+        assert all(t.degree(i) == 1 for i in range(1, 8))
+
+    def test_star_custom_hub(self):
+        t = Topology.star(5, hub=2)
+        assert t.degree(2) == 4
+
+    def test_fully_connected(self):
+        t = Topology.fully_connected(5)
+        assert t.n_links == 10
+
+    def test_linear(self):
+        t = Topology.linear(4)
+        assert t.n_links == 3
+        assert not t.has_link(0, 3)
+
+    def test_mesh_and_torus(self):
+        mesh = Topology.mesh(3, 3)
+        torus = Topology.torus(3, 3)
+        assert mesh.n_processors == torus.n_processors == 9
+        assert torus.n_links > mesh.n_links  # wraparound adds links
+
+    def test_binary_tree(self):
+        t = Topology.binary_tree(2)
+        assert t.n_processors == 7
+        assert t.degree(0) == 2
+
+    def test_from_links(self):
+        t = Topology.from_links(3, [(0, 1), (1, 2)])
+        assert t.has_link(0, 1) and not t.has_link(0, 2)
+
+    def test_from_links_invalid(self):
+        with pytest.raises(TopologyError):
+            Topology.from_links(2, [(0, 5)])
+        with pytest.raises(TopologyError):
+            Topology.from_links(2, [(0, 0)])
+
+    def test_invalid_adjacency_shape(self):
+        with pytest.raises(TopologyError):
+            Topology(np.zeros((2, 3)))
+
+    def test_adjacency_symmetrized_and_diagonal_cleared(self):
+        t = Topology([[1, 1], [0, 0]])
+        assert t.has_link(0, 1) and t.has_link(1, 0)
+        assert not t.has_link(0, 0)
+
+    def test_connectivity(self):
+        connected = Topology.ring(4)
+        assert connected.is_connected()
+        disconnected = Topology.from_links(4, [(0, 1), (2, 3)])
+        assert not disconnected.is_connected()
+
+    def test_equality_and_hash(self):
+        assert Topology.ring(4) == Topology.ring(4)
+        assert Topology.ring(4) != Topology.linear(4)
+        assert hash(Topology.ring(4)) == hash(Topology.ring(4))
+
+    def test_processor_index_check(self):
+        t = Topology.ring(3)
+        with pytest.raises(TopologyError):
+            t.neighbors(5)
+
+
+class TestRouting:
+    def test_hop_distance_hypercube_is_hamming(self):
+        t = Topology.hypercube(3)
+        dist = all_pairs_hop_distance(t)
+        for i in range(8):
+            for j in range(8):
+                assert dist[i, j] == bin(i ^ j).count("1")
+
+    def test_hop_distance_ring(self):
+        t = Topology.ring(9)
+        dist = all_pairs_hop_distance(t)
+        assert dist[0, 4] == 4
+        assert dist[0, 5] == 4  # wraps the other way
+        assert dist.max() == 4
+
+    def test_hop_distance_disconnected_marked(self):
+        t = Topology.from_links(3, [(0, 1)])
+        dist = all_pairs_hop_distance(t)
+        assert dist[0, 2] == -1
+
+    def test_shortest_path_endpoints_and_length(self):
+        t = Topology.hypercube(3)
+        path = shortest_path(t, 0, 7)
+        assert path[0] == 0 and path[-1] == 7
+        assert len(path) == 4  # 3 hops
+        # consecutive nodes are linked
+        for a, b in zip(path, path[1:]):
+            assert t.has_link(a, b)
+
+    def test_shortest_path_same_node(self):
+        t = Topology.ring(5)
+        assert shortest_path(t, 2, 2) == [2]
+
+    def test_shortest_path_no_route(self):
+        t = Topology.from_links(3, [(0, 1)])
+        with pytest.raises(TopologyError):
+            shortest_path(t, 0, 2)
+
+    def test_routing_table_consistent_with_distances(self):
+        t = Topology.ring(6)
+        table = routing_table(t)
+        dist = all_pairs_hop_distance(t)
+        for (src, dst), path in table.items():
+            assert len(path) - 1 == dist[src, dst]
+
+    @given(dim=st.integers(0, 4), src=st.integers(0, 15), dst=st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_hypercube_path_length_property(self, dim, src, dst):
+        n = 1 << dim
+        src, dst = src % n, dst % n
+        t = Topology.hypercube(dim)
+        path = shortest_path(t, src, dst)
+        assert len(path) - 1 == bin(src ^ dst).count("1")
+
+
+class TestMachine:
+    def test_machine_defaults_to_paper_params(self, hypercube8):
+        assert hypercube8.params.sigma == pytest.approx(7.0)
+        assert hypercube8.n_processors == 8
+        assert hypercube8.diameter == 3
+
+    def test_machine_requires_connected_topology(self):
+        with pytest.raises(MachineError):
+            Machine(Topology.from_links(3, [(0, 1)]))
+
+    def test_machine_requires_topology_type(self):
+        with pytest.raises(MachineError):
+            Machine("not a topology")
+
+    def test_distance_and_route_cache(self, ring9):
+        assert ring9.distance(0, 4) == 4
+        r1 = ring9.route(0, 3)
+        r2 = ring9.route(0, 3)
+        assert r1 == r2 and r1[0] == 0 and r1[-1] == 3
+
+    def test_link_path(self, bus8):
+        links = bus8.link_path(1, 2)
+        assert links == [(0, 1), (0, 2)]
+
+    def test_paper_architectures(self):
+        archs = Machine.paper_architectures()
+        assert set(archs) == {"Hypercube (8p)", "Bus (8p)", "Ring (9p)"}
+        assert archs["Hypercube (8p)"].n_processors == 8
+        assert archs["Ring (9p)"].n_processors == 9
+
+    def test_distance_matrix_is_copy(self, hypercube8):
+        m = hypercube8.distance_matrix()
+        m[0, 1] = 99
+        assert hypercube8.distance(0, 1) == 1
+
+    def test_constructors(self):
+        assert Machine.mesh(2, 3).n_processors == 6
+        assert Machine.fully_connected(4).diameter == 1
+        assert Machine.bus(8).diameter == 2

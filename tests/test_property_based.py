@@ -1,0 +1,190 @@
+"""Property-based tests over the whole scheduling stack.
+
+Hypothesis generates random task graphs and machine configurations; every
+policy must produce a complete, valid schedule whose makespan respects the
+standard lower bounds, and the simulated-annealing packet machinery must
+maintain its algebraic invariants on arbitrary packets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.comm.model import LinearCommModel, ZeroCommModel
+from repro.core.config import SAConfig
+from repro.core.cost import PacketCostFunction
+from repro.core.moves import propose_move
+from repro.core.packet import AnnealingPacket, PacketMapping
+from repro.core.sa_scheduler import SAScheduler
+from repro.machine.machine import Machine
+from repro.machine.topology import Topology
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.hlf import HLFScheduler
+from repro.schedulers.random_policy import RandomScheduler
+from repro.sim.engine import simulate
+from repro.taskgraph import generators as gen
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+machines = st.sampled_from(
+    [
+        Machine.hypercube(2),
+        Machine.hypercube(3),
+        Machine.ring(5),
+        Machine.bus(6),
+        Machine.fully_connected(3),
+        Machine.mesh(2, 3),
+    ]
+)
+
+policies = st.sampled_from(
+    [
+        lambda: HLFScheduler(seed=0),
+        lambda: FIFOScheduler(),
+        lambda: RandomScheduler(seed=1),
+    ]
+)
+
+
+@st.composite
+def random_graphs(draw):
+    kind = draw(st.sampled_from(["layered", "dag", "tree", "forkjoin"]))
+    seed = draw(st.integers(0, 10_000))
+    if kind == "layered":
+        return gen.layered_random(
+            draw(st.integers(1, 5)), draw(st.integers(1, 5)), seed=seed, mean_comm=4.0
+        )
+    if kind == "dag":
+        return gen.random_dag(draw(st.integers(1, 25)), edge_probability=0.2, seed=seed)
+    if kind == "tree":
+        return gen.intree(draw(st.integers(0, 3)), branching=2, comm=2.0)
+    return gen.fork_join(draw(st.integers(1, 10)), branch_duration=3.0, comm=2.0)
+
+
+class TestScheduleValidityProperties:
+    @given(graph=random_graphs(), machine=machines, policy_factory=policies)
+    @_SETTINGS
+    def test_every_policy_produces_valid_complete_schedules(
+        self, graph, machine, policy_factory
+    ):
+        result = simulate(graph, machine, policy_factory(), comm_model=LinearCommModel())
+        # completeness
+        assert len(result.task_processor) == graph.n_tasks
+        # validity
+        result.trace.validate(graph)
+        # lower bounds
+        assert result.makespan >= graph.critical_path_length() - 1e-9
+        assert result.makespan >= graph.total_work() / machine.n_processors - 1e-9
+        # speedup can never exceed the machine size
+        if result.makespan > 0:
+            assert result.speedup() <= machine.n_processors + 1e-9
+
+    @given(graph=random_graphs(), machine=machines)
+    @_SETTINGS
+    def test_zero_comm_never_slower_than_with_comm_for_same_policy(self, graph, machine):
+        with_comm = simulate(
+            graph, machine, HLFScheduler(seed=0), comm_model=LinearCommModel(), record_trace=False
+        )
+        without = simulate(
+            graph, machine, HLFScheduler(seed=0), comm_model=ZeroCommModel(), record_trace=False
+        )
+        assert without.makespan <= with_comm.makespan + 1e-9
+
+    @given(graph=random_graphs())
+    @_SETTINGS
+    def test_single_processor_makespan_equals_total_work(self, graph):
+        machine = Machine.fully_connected(1)
+        result = simulate(graph, machine, FIFOScheduler(), comm_model=LinearCommModel(),
+                          record_trace=False)
+        assert result.makespan == pytest.approx(graph.total_work())
+
+
+class TestSASchedulerProperties:
+    @given(graph=random_graphs(), machine=machines, seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_sa_scheduler_valid_on_random_problems(self, graph, machine, seed):
+        config = SAConfig(seed=seed, max_temperature_steps=10)
+        result = simulate(graph, machine, SAScheduler(config), comm_model=LinearCommModel())
+        assert len(result.task_processor) == graph.n_tasks
+        result.trace.validate(graph)
+
+
+@st.composite
+def random_packets(draw):
+    n_tasks = draw(st.integers(1, 8))
+    n_procs = draw(st.integers(1, 6))
+    machine = Machine.hypercube(3)
+    procs = draw(
+        st.lists(st.integers(0, 7), min_size=n_procs, max_size=n_procs, unique=True)
+    )
+    levels = {}
+    placement = {}
+    for i in range(n_tasks):
+        levels[f"t{i}"] = draw(st.floats(0.1, 100.0))
+        n_preds = draw(st.integers(0, 2))
+        placement[f"t{i}"] = tuple(
+            (f"p{i}{k}", draw(st.integers(0, 7)), draw(st.floats(0.0, 20.0)))
+            for k in range(n_preds)
+        )
+    packet = AnnealingPacket(
+        time=0.0,
+        ready_tasks=tuple(levels.keys()),
+        idle_processors=tuple(procs),
+        levels=levels,
+        predecessor_placement=placement,
+    )
+    return packet, machine
+
+
+class TestPacketCostProperties:
+    @given(data=random_packets(), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_incremental_delta_always_matches_recompute(self, data, seed):
+        packet, machine = data
+        fn = PacketCostFunction(packet, machine)
+        rng = np.random.default_rng(seed)
+        state = PacketMapping()
+        cost = fn.total_cost(state)
+        for _ in range(40):
+            new = propose_move(packet, state, rng)
+            delta = fn.incremental_delta(new.last_change)
+            new_cost = fn.total_cost(new)
+            assert new_cost - cost == pytest.approx(delta, abs=1e-8)
+            state, cost = new, new_cost
+
+    @given(data=random_packets())
+    @settings(max_examples=25, deadline=None)
+    def test_cost_is_finite_and_ranges_positive(self, data):
+        packet, machine = data
+        fn = PacketCostFunction(packet, machine)
+        assert fn.balance_range > 0 and fn.comm_range > 0
+        full = PacketMapping(
+            dict(zip(packet.ready_tasks, packet.idle_processors))
+            if packet.n_ready <= packet.n_idle
+            else dict(zip(packet.ready_tasks[: packet.n_idle], packet.idle_processors))
+        )
+        assert np.isfinite(fn.total_cost(full))
+        assert np.isfinite(fn.total_cost(PacketMapping()))
+
+    @given(data=random_packets(), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_moves_preserve_packet_invariants(self, data, seed):
+        packet, _machine = data
+        rng = np.random.default_rng(seed)
+        state = PacketMapping()
+        for _ in range(60):
+            state = propose_move(packet, state, rng)
+            assert state.n_assigned <= packet.n_assignable
+            assert set(state.task_to_proc).issubset(set(packet.ready_tasks))
+            assert set(state.proc_to_task).issubset(set(packet.idle_processors))
+            # bidirectional maps stay consistent
+            for task, proc in state.task_to_proc.items():
+                assert state.proc_to_task[proc] == task

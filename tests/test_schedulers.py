@@ -1,0 +1,181 @@
+"""Tests for the list-scheduling baselines and the policy interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.model import LinearCommModel, ZeroCommModel
+from repro.exceptions import ConfigurationError, SchedulingError
+from repro.machine.machine import Machine
+from repro.schedulers.base import PacketContext, validate_assignment
+from repro.schedulers.etf import ETFScheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.hlf import HLFScheduler
+from repro.schedulers.lpt import LPTScheduler
+from repro.schedulers.random_policy import RandomScheduler
+from repro.sim.engine import simulate
+from repro.taskgraph import generators as gen
+from repro.taskgraph.graph import TaskGraph
+
+
+def make_ctx(graph, machine, ready, idle, placed=None, finish=None, comm=None, time=0.0):
+    return PacketContext(
+        time=time,
+        ready_tasks=ready,
+        idle_processors=idle,
+        graph=graph,
+        machine=machine,
+        levels=graph.levels(),
+        task_processor=placed or {},
+        finish_times=finish or {},
+        comm_model=comm or LinearCommModel(),
+    )
+
+
+@pytest.fixture
+def priority_graph():
+    """Three independent tasks with distinct levels via downstream chains."""
+    g = TaskGraph("prio")
+    g.add_task("high", 1.0)
+    g.add_task("mid", 1.0)
+    g.add_task("low", 1.0)
+    # give 'high' a long tail and 'mid' a short one
+    g.add_task("tail1", 5.0)
+    g.add_task("tail2", 2.0)
+    g.add_dependency("high", "tail1", 1.0)
+    g.add_dependency("mid", "tail2", 1.0)
+    return g
+
+
+class TestValidateAssignment:
+    def test_accepts_legal_assignment(self, diamond_graph, hypercube8):
+        ctx = make_ctx(diamond_graph, hypercube8, ["b", "c"], [0, 1])
+        validate_assignment(ctx, {"b": 0, "c": 1})
+
+    def test_rejects_unready_task(self, diamond_graph, hypercube8):
+        ctx = make_ctx(diamond_graph, hypercube8, ["b"], [0, 1])
+        with pytest.raises(SchedulingError):
+            validate_assignment(ctx, {"d": 0})
+
+    def test_rejects_busy_processor(self, diamond_graph, hypercube8):
+        ctx = make_ctx(diamond_graph, hypercube8, ["b", "c"], [0])
+        with pytest.raises(SchedulingError):
+            validate_assignment(ctx, {"b": 1})
+
+    def test_rejects_duplicate_processor(self, diamond_graph, hypercube8):
+        ctx = make_ctx(diamond_graph, hypercube8, ["b", "c"], [0, 1])
+        with pytest.raises(SchedulingError):
+            validate_assignment(ctx, {"b": 0, "c": 0})
+
+
+class TestHLF:
+    def test_selects_highest_level_tasks(self, priority_graph, hypercube8):
+        ctx = make_ctx(priority_graph, hypercube8, ["high", "mid", "low"], [0])
+        assignment = HLFScheduler().assign(ctx)
+        assert list(assignment.keys()) == ["high"]
+
+    def test_index_placement_is_deterministic(self, priority_graph, hypercube8):
+        ctx = make_ctx(priority_graph, hypercube8, ["high", "mid"], [3, 5])
+        assignment = HLFScheduler(placement="index").assign(ctx)
+        assert assignment == {"high": 3, "mid": 5}
+
+    def test_arbitrary_placement_reproducible_per_seed(self, priority_graph, hypercube8):
+        ctx = make_ctx(priority_graph, hypercube8, ["high", "mid", "low"], [0, 1, 2])
+        a = HLFScheduler(seed=7)
+        b = HLFScheduler(seed=7)
+        assert a.assign(ctx) == b.assign(ctx)
+
+    def test_min_comm_placement_prefers_predecessor_processor(self, hypercube8):
+        g = TaskGraph("g")
+        g.add_task("p", 1.0)
+        g.add_task("c", 1.0)
+        g.add_dependency("p", "c", 4.0)
+        ctx = make_ctx(g, hypercube8, ["c"], [2, 6], placed={"p": 6}, finish={"p": 1.0})
+        assignment = HLFScheduler(placement="min_comm").assign(ctx)
+        assert assignment == {"c": 6}
+
+    def test_invalid_placement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HLFScheduler(placement="bogus")
+
+    def test_empty_context(self, priority_graph, hypercube8):
+        assert HLFScheduler().assign(make_ctx(priority_graph, hypercube8, [], [0])) == {}
+        assert HLFScheduler().assign(make_ctx(priority_graph, hypercube8, ["high"], [])) == {}
+
+
+class TestOtherBaselines:
+    def test_fifo_takes_insertion_order(self, priority_graph, hypercube8):
+        ctx = make_ctx(priority_graph, hypercube8, ["high", "mid", "low"], [4, 2])
+        assert FIFOScheduler().assign(ctx) == {"high": 4, "mid": 2}
+
+    def test_lpt_takes_longest_tasks(self, hypercube8):
+        g = TaskGraph("g")
+        for name, d in [("short", 1.0), ("long", 9.0), ("mid", 4.0)]:
+            g.add_task(name, d)
+        ctx = make_ctx(g, hypercube8, ["short", "long", "mid"], [0, 1])
+        assignment = LPTScheduler().assign(ctx)
+        assert set(assignment.keys()) == {"long", "mid"}
+
+    def test_random_policy_is_valid_and_reproducible(self, priority_graph, hypercube8):
+        ctx = make_ctx(priority_graph, hypercube8, ["high", "mid", "low"], [0, 1])
+        a = RandomScheduler(seed=3)
+        first = a.assign(ctx)
+        validate_assignment(ctx, first)
+        a.reset()
+        assert a.assign(ctx) == first
+
+    def test_etf_prefers_colocation(self, hypercube8):
+        g = TaskGraph("g")
+        g.add_task("p", 1.0)
+        g.add_task("c1", 1.0)
+        g.add_task("c2", 1.0)
+        g.add_dependency("p", "c1", 4.0)
+        g.add_dependency("p", "c2", 4.0)
+        ctx = make_ctx(
+            g,
+            hypercube8,
+            ["c1", "c2"],
+            [0, 7],
+            placed={"p": 0},
+            finish={"p": 1.0},
+            time=1.0,
+        )
+        assignment = ETFScheduler().assign(ctx)
+        validate_assignment(ctx, assignment)
+        # both children are placed; one of them gets the predecessor's processor
+        assert 0 in assignment.values() and 7 in assignment.values()
+
+    def test_etf_empty(self, priority_graph, hypercube8):
+        assert ETFScheduler().assign(make_ctx(priority_graph, hypercube8, [], [])) == {}
+
+
+class TestPoliciesEndToEnd:
+    """Every baseline must produce a complete, valid schedule on random DAGs."""
+
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [
+            lambda: HLFScheduler(),
+            lambda: HLFScheduler(placement="index"),
+            lambda: HLFScheduler(placement="min_comm"),
+            lambda: FIFOScheduler(),
+            lambda: LPTScheduler(),
+            lambda: RandomScheduler(seed=0),
+            lambda: ETFScheduler(),
+        ],
+    )
+    def test_policy_completes_and_is_valid(self, policy_factory, hypercube8):
+        graph = gen.layered_random(4, 6, seed=9, mean_comm=4.0)
+        result = simulate(graph, hypercube8, policy_factory(), comm_model=LinearCommModel())
+        assert len(result.task_processor) == graph.n_tasks
+        result.trace.validate(graph)
+        assert result.makespan > 0
+        assert 0 < result.speedup() <= hypercube8.n_processors
+
+    def test_hlf_on_two_processors_matches_hu_bound(self, two_proc_machine):
+        # Hu's algorithm is optimal for unit-duration intrees on any number of
+        # processors; check the classical bound on a small reduction tree.
+        tree = gen.intree(depth=3, branching=2, duration=1.0)
+        result = simulate(tree, two_proc_machine, HLFScheduler(), comm_model=ZeroCommModel())
+        # 15 unit tasks on 2 processors, critical path 4: optimum is 8
+        assert result.makespan == pytest.approx(8.0)

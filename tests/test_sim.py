@@ -1,0 +1,257 @@
+"""Tests for the discrete-event simulator (events, engine, trace, results, gantt)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.model import LinearCommModel, ZeroCommModel, effective_comm_cost
+from repro.exceptions import SimulationError
+from repro.machine.machine import Machine
+from repro.schedulers.base import SchedulingPolicy
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.hlf import HLFScheduler
+from repro.sim.engine import Simulator, simulate
+from repro.sim.events import EventQueue
+from repro.sim.gantt import gantt_rows, render_gantt
+from repro.sim.results import SimulationResult
+from repro.sim.trace import ExecutionTrace, OverheadRecord, TaskRecord
+from repro.taskgraph import generators as gen
+from repro.taskgraph.graph import TaskGraph
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.push(5.0, "a")
+        q.push(1.0, "b")
+        q.push(3.0, "c")
+        assert [q.pop().kind for _ in range(3)] == ["b", "c", "a"]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        q.push(1.0, "first")
+        q.push(1.0, "second")
+        assert q.pop().kind == "first"
+
+    def test_pop_simultaneous(self):
+        q = EventQueue()
+        q.push(2.0, "x")
+        q.push(1.0, "a")
+        q.push(1.0, "b")
+        batch = q.pop_simultaneous()
+        assert [e.kind for e in batch] == ["a", "b"]
+        assert len(q) == 1
+
+    def test_peek_and_bool(self):
+        q = EventQueue()
+        assert not q and q.peek() is None
+        q.push(1.0, "x")
+        assert q and q.peek().kind == "x"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, "x")
+
+
+class TestEngineBasics:
+    def test_single_task(self, two_proc_machine):
+        g = TaskGraph("one")
+        g.add_task("a", 5.0)
+        result = simulate(g, two_proc_machine, FIFOScheduler())
+        assert result.makespan == pytest.approx(5.0)
+        assert result.speedup() == pytest.approx(1.0)
+
+    def test_empty_graph(self, two_proc_machine):
+        result = simulate(TaskGraph("empty"), two_proc_machine, FIFOScheduler())
+        assert result.makespan == 0.0
+        assert result.speedup() == 0.0
+
+    def test_chain_is_serial(self, chain_graph, two_proc_machine):
+        result = simulate(chain_graph, two_proc_machine, HLFScheduler(), comm_model=ZeroCommModel())
+        assert result.makespan == pytest.approx(5.0)
+        assert result.speedup() == pytest.approx(1.0)
+
+    def test_independent_tasks_parallelize(self, two_proc_machine):
+        g = gen.independent_tasks(4, duration=3.0)
+        result = simulate(g, two_proc_machine, HLFScheduler())
+        assert result.makespan == pytest.approx(6.0)
+        assert result.speedup() == pytest.approx(2.0)
+
+    def test_makespan_never_below_critical_path(self, hypercube8):
+        g = gen.layered_random(4, 5, seed=1, mean_comm=4.0)
+        result = simulate(g, hypercube8, HLFScheduler(), comm_model=ZeroCommModel())
+        assert result.makespan >= g.critical_path_length() - 1e-9
+
+    def test_colocated_diamond_without_comm_cost(self, diamond_graph):
+        # on a single processor everything is serial and communication is free
+        machine = Machine.fully_connected(1)
+        result = simulate(diamond_graph, machine, FIFOScheduler(), comm_model=LinearCommModel())
+        assert result.makespan == pytest.approx(diamond_graph.total_work())
+
+    def test_communication_delays_remote_successor(self, two_proc_machine):
+        # a -> b with the two tasks forced onto different processors by a
+        # policy that spreads work; message latency must appear in the makespan
+        g = TaskGraph("pair")
+        g.add_task("a", 2.0)
+        g.add_task("b", 2.0)
+        g.add_task("filler", 2.0)  # occupies P0 so b lands on P1
+        g.add_dependency("a", "b", comm=4.0)
+
+        class SpreadPolicy(SchedulingPolicy):
+            name = "spread"
+
+            def assign(self, ctx):
+                out = {}
+                procs = list(ctx.idle_processors)
+                for t in ctx.ready_tasks:
+                    if not procs:
+                        break
+                    if t == "b":
+                        out[t] = 1 if 1 in procs else procs[0]
+                        procs.remove(out[t])
+                    else:
+                        out[t] = procs.pop(0)
+                return out
+
+        result = simulate(g, two_proc_machine, SpreadPolicy(), comm_model=LinearCommModel())
+        # a on P0 finishes at 2; message takes 4*1 + sigma = 11; b runs 2
+        expected_b_finish = 2.0 + effective_comm_cost(4.0, 1, False, two_proc_machine.params) + 2.0
+        assert result.makespan == pytest.approx(expected_b_finish)
+
+    def test_zero_comm_model_ignores_weights(self, diamond_graph, two_proc_machine):
+        with_comm = simulate(diamond_graph, two_proc_machine, HLFScheduler(), comm_model=LinearCommModel())
+        without = simulate(diamond_graph, two_proc_machine, HLFScheduler(), comm_model=ZeroCommModel())
+        assert without.makespan <= with_comm.makespan
+
+    def test_invalid_fidelity_rejected(self, diamond_graph, two_proc_machine):
+        with pytest.raises(SimulationError):
+            Simulator(diamond_graph, two_proc_machine, FIFOScheduler(), fidelity="bogus")
+
+    def test_stalling_policy_raises(self, diamond_graph, two_proc_machine):
+        class LazyPolicy(SchedulingPolicy):
+            name = "lazy"
+
+            def assign(self, ctx):
+                return {}
+
+        with pytest.raises(SimulationError, match="stalled"):
+            simulate(diamond_graph, two_proc_machine, LazyPolicy())
+
+    def test_record_trace_false_omits_trace(self, diamond_graph, two_proc_machine):
+        result = simulate(diamond_graph, two_proc_machine, HLFScheduler(), record_trace=False)
+        assert result.trace is None
+        assert result.processor_utilization() == {}
+
+
+class TestEngineValidity:
+    @pytest.mark.parametrize("fidelity", ["latency", "contention"])
+    def test_trace_is_valid_on_random_graphs(self, fidelity, hypercube8):
+        for seed in range(3):
+            g = gen.layered_random(4, 6, seed=seed, mean_comm=4.0)
+            result = simulate(
+                g, hypercube8, HLFScheduler(seed=seed), comm_model=LinearCommModel(), fidelity=fidelity
+            )
+            result.trace.validate(g)
+            assert len(result.trace.task_records) == g.n_tasks
+
+    def test_contention_never_faster_than_latency(self, hypercube8):
+        g = gen.layered_random(4, 6, seed=4, mean_comm=6.0)
+        lat = simulate(g, hypercube8, HLFScheduler(), comm_model=LinearCommModel(), fidelity="latency")
+        con = simulate(g, hypercube8, HLFScheduler(), comm_model=LinearCommModel(), fidelity="contention")
+        assert con.makespan >= lat.makespan - 1e-9
+
+    def test_contention_links_carry_one_message_at_a_time(self, ring9):
+        g = gen.layered_random(3, 8, seed=5, mean_comm=8.0)
+        result = simulate(g, ring9, HLFScheduler(), comm_model=LinearCommModel(), fidelity="contention")
+        # collect per-link hop intervals and check pairwise disjointness
+        link_usage = {}
+        for msg in result.trace.message_records:
+            for (a, b), (start, end) in zip(
+                zip(msg.route, msg.route[1:]), msg.hop_intervals
+            ):
+                link = (min(a, b), max(a, b))
+                link_usage.setdefault(link, []).append((start, end))
+        for intervals in link_usage.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-9
+
+    def test_messages_only_between_distinct_processors(self, hypercube8):
+        g = gen.layered_random(4, 4, seed=6, mean_comm=4.0)
+        result = simulate(g, hypercube8, HLFScheduler(), comm_model=LinearCommModel())
+        for msg in result.trace.message_records:
+            assert msg.src_proc != msg.dst_proc
+            assert msg.latency >= 0
+            assert msg.route[0] == msg.src_proc and msg.route[-1] == msg.dst_proc
+
+
+class TestTraceAndResults:
+    def test_trace_checks_detect_overlap(self):
+        trace = ExecutionTrace(
+            task_records=[
+                TaskRecord("a", 0, 0.0, 0.0, 5.0),
+                TaskRecord("b", 0, 0.0, 3.0, 6.0),
+            ]
+        )
+        with pytest.raises(SimulationError):
+            trace.check_no_processor_overlap()
+
+    def test_trace_checks_detect_precedence_violation(self, diamond_graph):
+        trace = ExecutionTrace(
+            task_records=[
+                TaskRecord("a", 0, 0.0, 0.0, 2.0),
+                TaskRecord("b", 1, 0.0, 1.0, 4.0),  # starts before a finishes
+            ]
+        )
+        with pytest.raises(SimulationError):
+            trace.check_precedence(diamond_graph)
+
+    def test_record_for_missing_task(self):
+        with pytest.raises(SimulationError):
+            ExecutionTrace().record_for("nope")
+
+    def test_busy_and_overhead_time(self):
+        trace = ExecutionTrace(
+            task_records=[TaskRecord("a", 0, 0.0, 0.0, 5.0)],
+            overhead_records=[OverheadRecord(0, 5.0, 7.0, "send")],
+        )
+        assert trace.busy_time(0) == pytest.approx(5.0)
+        assert trace.overhead_time(0) == pytest.approx(2.0)
+        assert trace.makespan() == pytest.approx(5.0)
+
+    def test_simulation_result_metrics(self, diamond_graph, two_proc_machine):
+        result = simulate(diamond_graph, two_proc_machine, HLFScheduler(), comm_model=ZeroCommModel())
+        assert result.speedup() == pytest.approx(result.total_work / result.makespan)
+        assert 0 < result.efficiency() <= 1.0
+        util = result.processor_utilization()
+        assert set(util) == {0, 1}
+        assert all(0 <= u <= 1 for u in util.values())
+        counts = result.tasks_per_processor()
+        assert sum(counts.values()) == diamond_graph.n_tasks
+        assert "diamond" in result.summary()
+
+
+class TestGantt:
+    def test_render_contains_all_processors(self, hypercube8):
+        g = gen.layered_random(3, 5, seed=7, mean_comm=4.0)
+        result = simulate(g, hypercube8, HLFScheduler(), comm_model=LinearCommModel(), fidelity="contention")
+        chart = render_gantt(result, width=60)
+        lines = chart.splitlines()
+        assert sum(1 for line in lines if line.startswith("P")) == 8
+        assert "legend" in lines[-1]
+
+    def test_render_without_trace(self):
+        result = SimulationResult(makespan=1.0, total_work=1.0, n_processors=2)
+        assert "no trace" in render_gantt(result)
+
+    def test_render_empty_schedule(self, two_proc_machine):
+        result = simulate(TaskGraph("empty"), two_proc_machine, FIFOScheduler())
+        assert "empty schedule" in render_gantt(result)
+
+    def test_gantt_rows_intervals_sorted(self, hypercube8):
+        g = gen.layered_random(3, 4, seed=8, mean_comm=4.0)
+        result = simulate(g, hypercube8, HLFScheduler(), comm_model=LinearCommModel(), fidelity="contention")
+        rows = gantt_rows(result.trace, 8)
+        for intervals in rows.values():
+            starts = [iv[0] for iv in intervals]
+            assert starts == sorted(starts)

@@ -1,0 +1,147 @@
+"""Tests for the four paper workload generators and the suite registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TaskGraphError
+from repro.taskgraph.properties import graph_properties
+from repro.workloads.fft import fft_2d
+from repro.workloads.gauss_jordan import gauss_jordan
+from repro.workloads.matmul import matrix_multiply
+from repro.workloads.newton_euler import newton_euler
+from repro.workloads.suite import PAPER_PROGRAMS, paper_program, paper_program_names
+
+
+class TestNewtonEuler:
+    def test_paper_instance_has_95_tasks(self):
+        g = newton_euler()
+        assert g.n_tasks == 95
+        g.validate()
+
+    def test_calibration_close_to_table1(self):
+        props = graph_properties(newton_euler())
+        assert props.average_duration == pytest.approx(9.12, rel=0.1)
+        assert props.average_communication == pytest.approx(3.96, rel=0.1)
+        assert 0.30 <= props.cc_ratio <= 0.55  # paper: 43 %
+        assert 5.0 <= props.max_speedup <= 10.0  # paper: 7.86
+
+    def test_parametric_joint_count(self):
+        g = newton_euler(n_joints=3)
+        assert g.n_tasks == 15 * 3 + 5
+        g.validate()
+
+    def test_forward_chain_exists(self):
+        g = newton_euler(n_joints=4)
+        # the forward recursion chains joint i to joint i+1
+        assert g.has_edge("fwd/chain[1]", "fwd/chain[2]")
+        assert g.has_edge("fwd/chain[3]", "fwd/chain[4]")
+        # the backward recursion runs tip to base
+        assert g.has_edge("bwd/force[2]", "bwd/force[1]")
+
+    def test_deterministic_for_seed(self):
+        a, b = newton_euler(seed=3), newton_euler(seed=3)
+        assert [a.duration(t) for t in a.tasks] == [b.duration(t) for t in b.tasks]
+
+    def test_invalid_joints(self):
+        with pytest.raises(TaskGraphError):
+            newton_euler(n_joints=0)
+
+
+class TestGaussJordan:
+    def test_paper_instance_has_111_tasks(self):
+        g = gauss_jordan()
+        assert g.n_tasks == 111
+        g.validate()
+
+    def test_calibration_close_to_table1(self):
+        props = graph_properties(gauss_jordan())
+        assert props.average_duration == pytest.approx(84.77, rel=0.15)
+        assert props.average_communication == pytest.approx(6.85, rel=0.15)
+        assert 0.05 <= props.cc_ratio <= 0.12  # paper: 8.1 %
+
+    def test_task_count_formula(self):
+        g = gauss_jordan(n=6)
+        assert g.n_tasks == 6 * (6 + 1) + 1
+
+    def test_pivot_chain_on_critical_path(self):
+        g = gauss_jordan(n=4)
+        # normalization of step k depends on the previous update of row k
+        assert g.has_edge("norm[0]", "elim[0][1]")
+        assert g.has_edge("elim[0][1]", "norm[1]")
+
+    def test_elimination_work_decreases_with_step(self):
+        g = gauss_jordan(n=8, duration_spread=0.0)
+        early = g.duration("elim[0][1]")
+        late = g.duration("elim[6][1]")
+        assert late < early
+
+    def test_invalid_size(self):
+        with pytest.raises(TaskGraphError):
+            gauss_jordan(n=0)
+
+
+class TestMatrixMultiply:
+    def test_paper_instance_has_111_tasks(self):
+        g = matrix_multiply()
+        assert g.n_tasks == 111
+        g.validate()
+
+    def test_nearly_flat_graph(self):
+        props = graph_properties(matrix_multiply())
+        # the product tasks are independent: the maximum speedup is huge
+        assert props.max_speedup > 50
+        assert props.average_duration == pytest.approx(73.96, rel=0.15)
+
+    def test_structure(self):
+        g = matrix_multiply(n=3)
+        assert g.n_tasks == 3 + 9 + 1
+        assert g.has_edge("bcast[0]", "prod[0][2]")
+        assert g.has_edge("prod[2][1]", "gather")
+
+    def test_invalid_size(self):
+        with pytest.raises(TaskGraphError):
+            matrix_multiply(n=0)
+
+
+class TestFFT:
+    def test_paper_instance_has_73_tasks(self):
+        g = fft_2d()
+        assert g.n_tasks == 73
+        g.validate()
+
+    def test_two_pass_structure(self):
+        g = fft_2d(n_vectors=4)
+        assert g.n_tasks == 9
+        assert g.has_edge("row_fft[0]", "transpose")
+        assert g.has_edge("transpose", "col_fft[3]")
+        # rows are mutually independent
+        assert not g.has_edge("row_fft[0]", "row_fft[1]")
+
+    def test_calibration_close_to_table1(self):
+        props = graph_properties(fft_2d())
+        assert props.average_duration == pytest.approx(72.74, rel=0.1)
+        assert props.max_speedup > 20  # paper: 40.85 (wide, shallow graph)
+
+    def test_invalid_size(self):
+        with pytest.raises(TaskGraphError):
+            fft_2d(n_vectors=0)
+
+
+class TestSuite:
+    def test_registry_contains_four_programs(self):
+        assert paper_program_names() == ["NE", "GJ", "FFT", "MM"]
+
+    def test_paper_program_builds_calibrated_instances(self):
+        for key, spec in PAPER_PROGRAMS.items():
+            g = paper_program(key)
+            assert g.n_tasks == spec.paper_n_tasks
+
+    def test_paper_program_case_insensitive_and_errors(self):
+        assert paper_program("ne").n_tasks == 95
+        with pytest.raises(KeyError):
+            paper_program("nope")
+
+    def test_spec_build_accepts_overrides(self):
+        g = PAPER_PROGRAMS["NE"].build(seed=1, n_joints=2)
+        assert g.n_tasks == 15 * 2 + 5
