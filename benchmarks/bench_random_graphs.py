@@ -8,6 +8,9 @@ random layered DAGs, without and with communication, and checks:
 
 * without communication HLF and SA are statistically indistinguishable,
 * with communication SA's mean speedup is at least as good as plain HLF's.
+
+A second benchmark drives the same comparison through the parallel sweep
+runner (:mod:`repro.experiments.sweep`) over a larger scenario grid.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import pytest
 from repro.comm.model import LinearCommModel, ZeroCommModel
 from repro.core.config import SAConfig
 from repro.core.sa_scheduler import SAScheduler
+from repro.experiments.sweep import format_sweep_report, run_sweep
 from repro.machine.machine import Machine
 from repro.schedulers.etf import ETFScheduler
 from repro.schedulers.hlf import HLFScheduler
@@ -73,4 +77,35 @@ def test_random_graph_comparison(benchmark, save_artifact):
         title=f"Random layered DAGs (n={N_GRAPHS}) on the 8-node hypercube",
     )
     save_artifact("random_graphs", text)
+    print("\n" + text)
+
+
+@pytest.mark.benchmark(group="random-graphs")
+def test_random_graph_sweep(benchmark, save_artifact):
+    """A larger grid (2 machines × 2 families × 8 seeds × 3 policies) via the sweep runner."""
+
+    def run():
+        return run_sweep(
+            policies=("HLF", "ETF", "SA"),
+            machines=("hypercube8", "ring9"),
+            families=("layered", "dag"),
+            n_seeds=8,
+            jobs=2,
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report["meta"]["n_simulations"] == 3 * 2 * 2 * 8
+    assert report["meta"]["n_failed"] == 0
+
+    by_cell = {
+        (a["policy"], a["machine"], a["family"]): a["mean_speedup"]
+        for a in report["aggregates"]
+    }
+    # With communication charged, SA should at least match plain HLF everywhere.
+    for machine in ("hypercube8", "ring9"):
+        for family in ("layered", "dag"):
+            assert by_cell[("SA", machine, family)] >= by_cell[("HLF", machine, family)] * 0.97
+
+    text = format_sweep_report(report)
+    save_artifact("random_graph_sweep", text)
     print("\n" + text)

@@ -89,6 +89,12 @@ class Annealer:
         Starting temperature; ``None`` asks the problem for an estimate.
     record_trajectory:
         Keep a per-proposal :class:`AnnealingRecord` list in the result.
+    resync_tolerance:
+        The walk tracks its cost through accumulated incremental deltas; once
+        per temperature step the true cost is recomputed and, if the two
+        differ by more than this tolerance, the tracked cost is
+        resynchronized.  This bounds float drift on long runs without
+        perturbing bit-level tie-breaking on short ones.
     """
 
     def __init__(
@@ -99,11 +105,14 @@ class Annealer:
         moves_per_temperature: int = 20,
         initial_temperature: Optional[float] = None,
         record_trajectory: bool = False,
+        resync_tolerance: float = 1e-9,
     ) -> None:
         if moves_per_temperature < 1:
             raise ValueError(
                 f"moves_per_temperature must be >= 1, got {moves_per_temperature}"
             )
+        if resync_tolerance < 0:
+            raise ValueError(f"resync_tolerance must be >= 0, got {resync_tolerance}")
         self.acceptance = acceptance or BoltzmannSigmoidAcceptance()
         self.cooling = cooling or GeometricCooling(alpha=0.9)
         self.stopping = stopping or CombinedStopping(
@@ -112,6 +121,7 @@ class Annealer:
         self.moves_per_temperature = int(moves_per_temperature)
         self.initial_temperature = initial_temperature
         self.record_trajectory = bool(record_trajectory)
+        self.resync_tolerance = float(resync_tolerance)
 
     def run(
         self,
@@ -173,6 +183,15 @@ class Annealer:
                         trajectory.append(record)
                     if callback is not None:
                         callback(record, state)
+            # Guard against incremental-cost float drift: the inner loop tracks
+            # the cost through accumulated deltas, so recompute the true cost
+            # once per temperature step and resynchronize when the two have
+            # drifted apart — long runs can then never diverge from the true
+            # cost, while bit-level drift (which would perturb best-state
+            # tie-breaking) is left alone.
+            resynced = problem.cost(state)
+            if abs(resynced - cost) > self.resync_tolerance:
+                cost = resynced
             if self.stopping.should_stop(outer, cost):
                 outer += 1
                 break

@@ -4,6 +4,7 @@ from repro.comm.model import (
     CommunicationModel,
     LinearCommModel,
     ZeroCommModel,
+    comm_cost_table,
     effective_comm_cost,
 )
 
@@ -11,5 +12,6 @@ __all__ = [
     "CommunicationModel",
     "LinearCommModel",
     "ZeroCommModel",
+    "comm_cost_table",
     "effective_comm_cost",
 ]

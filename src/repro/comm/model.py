@@ -30,11 +30,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from repro.machine.params import CommParams
 from repro.utils.validation import check_non_negative
 
 __all__ = [
     "effective_comm_cost",
+    "comm_cost_table",
     "CommunicationModel",
     "LinearCommModel",
     "ZeroCommModel",
@@ -83,6 +86,19 @@ class CommunicationModel(ABC):
     def cost(self, machine, weight: float, src_proc: int, dst_proc: int) -> float:
         """Effective time to move one message of per-link weight *weight*."""
 
+    def cost_row(self, machine, weight: float, src_proc: int, dst_procs) -> np.ndarray:
+        """Vector of :meth:`cost` values from *src_proc* to every *dst_procs* entry.
+
+        The default implementation loops over the scalar :meth:`cost`; the
+        built-in models override it with closed-form vectorized versions that
+        produce bit-identical values.  Used by :func:`comm_cost_table` to
+        compile a packet's communication costs ahead of annealing.
+        """
+        return np.array(
+            [self.cost(machine, weight, src_proc, int(p)) for p in dst_procs],
+            dtype=np.float64,
+        )
+
     @property
     def enabled(self) -> bool:
         """False when the model ignores communication entirely."""
@@ -100,6 +116,18 @@ class LinearCommModel(CommunicationModel):
         distance = 0 if same else machine.distance(src_proc, dst_proc)
         return effective_comm_cost(weight, distance, same, machine.params)
 
+    def cost_row(self, machine, weight: float, src_proc: int, dst_procs) -> np.ndarray:
+        # Mirrors effective_comm_cost term by term (same operation order, so
+        # the floats are bit-identical to the scalar path).
+        check_non_negative("weight", weight)
+        procs = np.asarray(dst_procs, dtype=np.intp)
+        distances = machine.distances_from(src_proc, procs)
+        delta = (procs == src_proc).astype(np.float64)
+        volume = weight * distances
+        routing = (distances - 1 + delta) * machine.params.tau
+        setup = (1.0 - delta) * machine.params.sigma
+        return volume + routing + setup
+
 
 class ZeroCommModel(CommunicationModel):
     """Communication-free model used for the "w/o comm" experiments."""
@@ -107,6 +135,35 @@ class ZeroCommModel(CommunicationModel):
     def cost(self, machine, weight: float, src_proc: int, dst_proc: int) -> float:
         return 0.0
 
+    def cost_row(self, machine, weight: float, src_proc: int, dst_procs) -> np.ndarray:
+        return np.zeros(len(dst_procs), dtype=np.float64)
+
     @property
     def enabled(self) -> bool:
         return False
+
+
+def comm_cost_table(
+    comm_model: CommunicationModel,
+    machine,
+    idle_processors,
+    predecessor_placements,
+) -> np.ndarray:
+    """Compile the ``(n_tasks, n_idle)`` communication-cost table of one packet.
+
+    ``predecessor_placements[i]`` is the sequence of ``(pred_processor,
+    comm_weight)`` pairs of ready task *i*; entry ``[i, j]`` of the result is
+    the total equation-4 cost of placing task *i* on ``idle_processors[j]``.
+    Rows are accumulated one predecessor at a time, preserving the float
+    summation order of the scalar implementation so annealing on the table is
+    bit-for-bit identical to annealing on per-move ``cost()`` calls.
+    """
+    procs = np.asarray(idle_processors, dtype=np.intp)
+    table = np.zeros((len(predecessor_placements), len(procs)), dtype=np.float64)
+    if not comm_model.enabled:
+        return table
+    for i, preds in enumerate(predecessor_placements):
+        row = table[i]
+        for pred_proc, weight in preds:
+            row += comm_model.cost_row(machine, weight, pred_proc, procs)
+    return table

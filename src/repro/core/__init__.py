@@ -1,9 +1,11 @@
 """The paper's primary contribution: staged simulated-annealing DAG scheduling.
 
 At every assignment epoch an :class:`~repro.core.packet.AnnealingPacket` is
-built from the ready tasks and the idle processors; a short simulated
-annealing run (:class:`~repro.core.packet_annealer.PacketAnnealer`) explores
-partial mappings of ready tasks onto idle processors under the normalized
+built from the ready tasks and the idle processors and compiled into a
+:class:`~repro.core.kernel.PacketKernel` — dense integer-indexed levels and
+communication-cost tables; a short simulated annealing run
+(:class:`~repro.core.packet_annealer.PacketAnnealer`) explores partial
+mappings of ready tasks onto idle processors under the normalized
 load-balancing + communication cost of :mod:`repro.core.cost` (equations 3–6)
 and the move/swap neighbourhood of :mod:`repro.core.moves`; the best mapping
 found becomes the epoch's assignment.  The whole staged policy is exposed as
@@ -14,6 +16,7 @@ found becomes the epoch's assignment.  The whole staged policy is exposed as
 from repro.core.config import SAConfig
 from repro.core.packet import AnnealingPacket, PacketMapping
 from repro.core.cost import PacketCostFunction, CostBreakdown
+from repro.core.kernel import PacketKernel
 from repro.core.moves import propose_move
 from repro.core.packet_annealer import PacketAnnealer, PacketAnnealingOutcome
 from repro.core.sa_scheduler import SAScheduler, PacketStats
@@ -23,6 +26,7 @@ __all__ = [
     "AnnealingPacket",
     "PacketMapping",
     "PacketCostFunction",
+    "PacketKernel",
     "CostBreakdown",
     "propose_move",
     "PacketAnnealer",

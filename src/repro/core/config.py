@@ -60,6 +60,11 @@ class SAConfig:
     record_trajectories:
         Keep the full cost trajectory of every packet (needed only for the
         Figure-1 reproduction; off by default to keep memory small).
+    compiled:
+        Anneal over the precompiled packet kernel (dense cost tables; the
+        default).  ``False`` selects the original per-call cost evaluation —
+        bit-identical results, kept as the reference for equivalence tests
+        and as an escape hatch for exotic cost models.
     """
 
     weight_balance: float = 0.5
@@ -73,6 +78,7 @@ class SAConfig:
     initial_mapping: str = "hlf"
     seed: SeedLike = None
     record_trajectories: bool = False
+    compiled: bool = True
 
     def __post_init__(self) -> None:
         if self.weight_balance < 0 or self.weight_comm < 0:

@@ -31,6 +31,14 @@ For one annealing packet the cost of a candidate mapping ``m`` has two terms:
   with the network diameter.  Both ranges are guarded against zero so the
   cost stays finite for degenerate packets (single candidate, no
   communication, one processor).
+
+By default the cost function *compiles* the packet into a
+:class:`~repro.core.kernel.PacketKernel`: every ``(ready task, idle
+processor)`` communication cost is precomputed into a dense table at
+construction time, so per-move evaluation never calls ``comm_model.cost()``.
+Pass ``compiled=False`` to keep the original per-call scalar evaluation (the
+reference implementation used by the equivalence tests); both paths produce
+bit-identical costs.
 """
 
 from __future__ import annotations
@@ -38,7 +46,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, Optional
 
-from repro.comm.model import CommunicationModel, LinearCommModel, effective_comm_cost
+from repro.comm.model import CommunicationModel, LinearCommModel
+from repro.core.kernel import PacketKernel, compute_balance_range, compute_comm_range
 from repro.core.packet import AnnealingPacket, PacketMapping
 from repro.exceptions import ConfigurationError
 
@@ -72,6 +81,10 @@ class PacketCostFunction:
     weight_balance, weight_comm:
         The mixing weights ``w_b`` and ``w_c`` (must be non-negative and sum
         to 1).
+    compiled:
+        Precompute the packet's communication-cost table (default).  When
+        False, every evaluation calls ``comm_model.cost()`` — the slow
+        reference path kept for cross-validation.
     """
 
     def __init__(
@@ -81,6 +94,7 @@ class PacketCostFunction:
         comm_model: Optional[CommunicationModel] = None,
         weight_balance: float = 0.5,
         weight_comm: float = 0.5,
+        compiled: bool = True,
     ) -> None:
         if weight_balance < 0 or weight_comm < 0:
             raise ConfigurationError("cost weights must be non-negative")
@@ -93,52 +107,20 @@ class PacketCostFunction:
         self.comm_model = comm_model if comm_model is not None else LinearCommModel()
         self.weight_balance = float(weight_balance)
         self.weight_comm = float(weight_comm)
-        self._balance_range = self._compute_balance_range()
-        self._comm_range = self._compute_comm_range()
-
-    # ------------------------------------------------------------------ #
-    # Ranges (paper §4.2c)
-    # ------------------------------------------------------------------ #
-    def _compute_balance_range(self) -> float:
-        """``dF_b = (Max - Min) / N_idle`` with a positive-floor guard."""
-        n_idle = self.packet.n_idle
-        if n_idle == 0:
-            return 1.0
-        levels = sorted((self.packet.levels[t] for t in self.packet.ready_tasks), reverse=True)
-        k = min(n_idle, len(levels))
-        if k == 0:
-            return 1.0
-        max_sum = sum(levels[:k])
-        min_sum = sum(levels[-k:])
-        rng = (max_sum - min_sum) / n_idle
-        # When every candidate has the same level the balancing term cannot
-        # discriminate; normalize by the common level magnitude instead so the
-        # term still rewards selecting *more* tasks.
-        if rng <= 0.0:
-            rng = max(abs(max_sum) / max(n_idle, 1), 1.0)
-        return rng
-
-    def _compute_comm_range(self) -> float:
-        """``dF_c``: highest-communication candidates paired with the network diameter."""
-        if not self.comm_model.enabled:
-            return 1.0
-        diameter = max(self.machine.diameter, 1)
-        totals = []
-        for task in self.packet.ready_tasks:
-            preds = self.packet.predecessor_placement.get(task, ())
-            if not preds:
-                continue
-            worst = sum(
-                effective_comm_cost(w, diameter, False, self.machine.params)
-                for _, _, w in preds
+        self.kernel: Optional[PacketKernel] = None
+        if compiled:
+            self.kernel = PacketKernel(
+                packet,
+                machine,
+                comm_model=self.comm_model,
+                weight_balance=self.weight_balance,
+                weight_comm=self.weight_comm,
             )
-            totals.append(worst)
-        if not totals:
-            return 1.0
-        totals.sort(reverse=True)
-        k = min(self.packet.n_idle, len(totals)) or len(totals)
-        estimate = sum(totals[:k])
-        return estimate if estimate > 0 else 1.0
+            self._balance_range = self.kernel.balance_range
+            self._comm_range = self.kernel.comm_range
+        else:
+            self._balance_range = compute_balance_range(packet)
+            self._comm_range = compute_comm_range(packet, machine, self.comm_model)
 
     @property
     def balance_range(self) -> float:
@@ -163,14 +145,21 @@ class PacketCostFunction:
             return 0.0
         total = 0.0
         for task, proc in mapping.task_to_proc.items():
-            for _pred, pred_proc, weight in self.packet.predecessor_placement.get(task, ()):
-                total += self.comm_model.cost(self.machine, weight, pred_proc, proc)
+            total += self.task_communication_cost(task, proc)
         return total
 
     def task_communication_cost(self, task: TaskId, proc: ProcId) -> float:
         """Communication cost contributed by placing *task* on *proc* (used for deltas)."""
         if not self.comm_model.enabled:
             return 0.0
+        kernel = self.kernel
+        if kernel is not None:
+            i = kernel.task_index.get(task)
+            j = kernel.proc_index.get(proc)
+            if i is not None and j is not None:
+                return kernel.comm_rows[i][j]
+        # Reference path: also used for processors outside the packet's idle
+        # set (legal for hand-built mappings in tests and analysis code).
         total = 0.0
         for _pred, pred_proc, weight in self.packet.predecessor_placement.get(task, ()):
             total += self.comm_model.cost(self.machine, weight, pred_proc, proc)

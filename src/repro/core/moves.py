@@ -61,14 +61,24 @@ def propose_move(packet: AnnealingPacket, mapping: PacketMapping, rng) -> Packet
     task = packet.ready_tasks[int(rng.integers(0, n_ready))]
     current_proc = new.processor_of(task)
 
-    # Choose a processor different from the task's current one (if any).
-    candidates = [p for p in packet.idle_processors if p != current_proc]
-    if not candidates:
-        # Single processor and the task already sits on it: no alternative
-        # placement exists; return the copy unchanged (zero-delta proposal).
-        new.last_change = []
-        return new
-    proc = candidates[int(rng.integers(0, len(candidates)))]
+    # Choose a processor different from the task's current one (if any).  The
+    # draw is over the idle processors minus the current one; instead of
+    # materializing that candidate list we draw a position in the reduced
+    # range and skip past the current processor's slot — the same bound and
+    # therefore the exact same RNG stream as the list-based implementation.
+    pos = None if current_proc is None else packet.proc_position.get(current_proc)
+    if pos is None:
+        proc = packet.idle_processors[int(rng.integers(0, n_idle))]
+    else:
+        if n_idle == 1:
+            # Single processor and the task already sits on it: no alternative
+            # placement exists; return the copy unchanged (zero-delta proposal).
+            new.last_change = []
+            return new
+        idx = int(rng.integers(0, n_idle - 1))
+        if idx >= pos:
+            idx += 1
+        proc = packet.idle_processors[idx]
 
     occupant = new.task_on(proc)
     if occupant is None:

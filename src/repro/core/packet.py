@@ -11,6 +11,7 @@ tasks roll over to the next packet.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.exceptions import SchedulingError
@@ -61,6 +62,16 @@ class AnnealingPacket:
     def n_assignable(self) -> int:
         """At most one task can start per idle processor."""
         return min(self.n_ready, self.n_idle)
+
+    @cached_property
+    def proc_position(self) -> Dict[ProcId, int]:
+        """Position of each idle processor in ``idle_processors``.
+
+        Cached on first use; lets the move generator pick a "different
+        processor" with a single bounded draw instead of materializing a
+        candidate list on every proposal.
+        """
+        return {p: k for k, p in enumerate(self.idle_processors)}
 
     @classmethod
     def from_context(cls, ctx) -> "AnnealingPacket":

@@ -6,6 +6,14 @@ move generator (:func:`~repro.core.moves.propose_move`) and cost function
 :class:`~repro.annealing.annealer.Annealer`, and can record the per-proposal
 balance / communication / total cost trajectory that Figure 1 of the paper
 plots.
+
+When the configuration's ``compiled`` flag is set (the default), the walk
+runs in the *index space* of the packet's compiled
+:class:`~repro.core.kernel.PacketKernel`: ready tasks and idle processors are
+renumbered as dense integers, every move is scored by table lookup, and the
+winning mapping is translated back to task/processor identifiers at the end.
+The kernel reproduces the reference evaluation bit for bit, so compiled and
+uncompiled runs accept exactly the same moves for a fixed seed.
 """
 
 from __future__ import annotations
@@ -13,15 +21,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional
 
-from repro.annealing.annealer import Annealer
+import math
+
+from repro.annealing.acceptance import BoltzmannSigmoidAcceptance
+from repro.annealing.annealer import Annealer, AnnealingResult
 from repro.annealing.problem import AnnealingProblem
 from repro.annealing.stopping import CombinedStopping, MaxIterationsStopping, StallStopping
 from repro.comm.model import CommunicationModel
 from repro.core.config import SAConfig
 from repro.core.cost import CostBreakdown, PacketCostFunction
-from repro.core.moves import propose_move
+from repro.core.kernel import PacketKernel
+from repro.core.moves import _DROP_PROBABILITY, propose_move
 from repro.core.packet import AnnealingPacket, PacketMapping
-from repro.utils.rng import as_rng
+from repro.utils.rng import StreamDraws, as_rng
 
 __all__ = [
     "PacketMappingProblem",
@@ -71,8 +83,219 @@ class PacketAnnealingOutcome:
         return self.initial_cost - self.best_cost
 
 
+def _anneal_indexed(
+    kernel: PacketKernel,
+    problem: "PacketMappingProblem",
+    annealer: Annealer,
+    rng,
+) -> AnnealingResult:
+    """Fused annealing loop over the kernel's index space.
+
+    Replicates :meth:`~repro.annealing.annealer.Annealer.run` with the move
+    generator, incremental cost and (sigmoid) acceptance rule inlined over the
+    kernel's dense tables, drawing randomness through
+    :class:`~repro.utils.rng.StreamDraws`.  Every stochastic decision consumes
+    the generator's stream exactly as the generic loop does, so for a fixed
+    seed this produces bit-identical results — only faster (no per-proposal
+    mapping copies, no scalar numpy RNG calls, no method dispatch).
+    """
+    acceptance = annealer.acceptance
+    cooling = annealer.cooling
+    stopping = annealer.stopping
+    moves_per_temperature = annealer.moves_per_temperature
+
+    state0 = problem.initial_state(rng)
+    t2p: Dict[int, int] = dict(state0.task_to_proc)
+    p2t: Dict[int, int] = dict(state0.proc_to_task)
+
+    levels = kernel.levels
+    rows = kernel.comm_rows
+    wb, wc = kernel.weight_balance, kernel.weight_comm
+    br, cr = kernel.balance_range, kernel.comm_range
+    n_ready, n_idle = kernel.n_ready, kernel.n_idle
+    comm_enabled = kernel.comm_enabled
+    degenerate = n_ready == 0 or n_idle == 0
+
+    def full_cost() -> float:
+        # Mirrors PacketKernel.total_cost term for term.
+        fb = -sum(levels[i] for i in t2p)
+        fc = 0.0
+        if comm_enabled:
+            for i, j in t2p.items():
+                fc += rows[i][j]
+        return wc * fc / cr + wb * fb / br
+
+    cost = full_cost()
+    best_map = dict(t2p)
+    best_cost = cost
+
+    t0 = (
+        annealer.initial_temperature
+        if annealer.initial_temperature is not None
+        else problem.initial_temperature(rng)
+    )
+    if t0 <= 0:
+        raise ValueError(f"initial temperature must be > 0, got {t0}")
+
+    stopping.reset()
+    draws = StreamDraws(rng)
+    sigmoid = type(acceptance) is BoltzmannSigmoidAcceptance
+    exp = math.exp
+    n_proposals = 0
+    n_accepted = 0
+    outer = 0
+    while True:
+        temperature = cooling.temperature(outer, t0)
+        if sigmoid:
+            if temperature < 0:
+                raise ValueError(f"temperature must be >= 0, got {temperature}")
+            zero_temp = temperature == 0.0
+            infinite_temp = math.isinf(temperature)
+        for _ in range(moves_per_temperature):
+            # ---- propose: moves.propose_move inlined in index space ------- #
+            # move kinds: 0 zero-delta, 1 drop, 2 (re)assign, 3 replace, 4 swap
+            kind = 0
+            delta = 0.0
+            if not degenerate:
+                if t2p and draws.random() < _DROP_PROBABILITY:
+                    tasks = list(t2p)
+                    task = tasks[draws.integers(0, len(tasks))]
+                    old_j = t2p[task]
+                    kind = 1
+                    balance_delta = 0.0 + levels[task]
+                    comm_delta = 0.0 - rows[task][old_j]
+                    delta = wc * comm_delta / cr + wb * balance_delta / br
+                else:
+                    task = draws.integers(0, n_ready)
+                    cur = t2p.get(task)
+                    if cur is None:
+                        new_j = draws.integers(0, n_idle)
+                    elif n_idle == 1:
+                        new_j = None  # nowhere else to go: zero-delta proposal
+                    else:
+                        idx = draws.integers(0, n_idle - 1)
+                        if idx >= cur:
+                            idx += 1
+                        new_j = idx
+                    if new_j is not None:
+                        level = levels[task]
+                        row = rows[task]
+                        occupant = p2t.get(new_j)
+                        if occupant is None:
+                            kind = 2
+                            if cur is not None:
+                                balance_delta = 0.0 + level
+                                comm_delta = 0.0 - row[cur]
+                            else:
+                                balance_delta = 0.0
+                                comm_delta = 0.0
+                            balance_delta -= level
+                            comm_delta += row[new_j]
+                        elif cur is None:
+                            kind = 3
+                            balance_delta = 0.0 + levels[occupant]
+                            comm_delta = 0.0 - rows[occupant][new_j]
+                            balance_delta -= level
+                            comm_delta += row[new_j]
+                        else:
+                            kind = 4
+                            balance_delta = 0.0 + level
+                            comm_delta = 0.0 - row[cur]
+                            balance_delta -= level
+                            comm_delta += row[new_j]
+                            occ_row = rows[occupant]
+                            balance_delta += levels[occupant]
+                            comm_delta -= occ_row[new_j]
+                            balance_delta -= levels[occupant]
+                            comm_delta += occ_row[cur]
+                        delta = wc * comm_delta / cr + wb * balance_delta / br
+            # ---- accept: BoltzmannSigmoidAcceptance inlined --------------- #
+            n_proposals += 1
+            if sigmoid:
+                if zero_temp:
+                    probability = 1.0 if delta < 0.0 else 0.0
+                elif infinite_temp:
+                    probability = 0.5
+                else:
+                    exponent = delta / temperature
+                    if exponent > 500.0:
+                        probability = 0.0
+                    elif exponent < -500.0:
+                        probability = 1.0
+                    else:
+                        probability = 1.0 / (1.0 + exp(exponent))
+                if probability >= 1.0:
+                    accepted = True
+                elif probability <= 0.0:
+                    accepted = False
+                else:
+                    accepted = draws.random() < probability
+            else:
+                accepted = acceptance.accept(delta, temperature, draws)
+            if accepted:
+                # Apply the move in place, reproducing the dict-insertion
+                # order PacketMapping's assign/unassign/swap would leave.
+                if kind == 1:
+                    del t2p[task]
+                    del p2t[old_j]
+                elif kind == 2:
+                    if cur is not None:
+                        del t2p[task]
+                        del p2t[cur]
+                    t2p[task] = new_j
+                    p2t[new_j] = task
+                elif kind == 3:
+                    del t2p[occupant]
+                    t2p[task] = new_j
+                    p2t[new_j] = task
+                elif kind == 4:
+                    t2p[task] = new_j
+                    t2p[occupant] = cur
+                    p2t[new_j] = task
+                    p2t[cur] = occupant
+                n_accepted += 1
+                cost = cost + delta
+                if cost < best_cost:
+                    best_cost = cost
+                    best_map = dict(t2p)
+        # Per-temperature resynchronization against incremental-cost drift
+        # (mirrors Annealer.run).
+        resynced = full_cost()
+        if abs(resynced - cost) > annealer.resync_tolerance:
+            cost = resynced
+        if stopping.should_stop(outer, cost):
+            outer += 1
+            break
+        outer += 1
+
+    return AnnealingResult(
+        best_state=PacketMapping(best_map),
+        best_cost=best_cost,
+        final_state=PacketMapping(t2p),
+        final_cost=cost,
+        n_iterations=outer,
+        n_proposals=n_proposals,
+        n_accepted=n_accepted,
+        trajectory=[],
+    )
+
+
+def _kernel_breakdown(kernel: PacketKernel, mapping: PacketMapping) -> CostBreakdown:
+    """Component costs of an index-space mapping, scored through the kernel tables."""
+    fb = kernel.balance_cost(mapping)
+    fc = kernel.communication_cost(mapping)
+    total = kernel.weight_comm * fc / kernel.comm_range + kernel.weight_balance * fb / kernel.balance_range
+    return CostBreakdown(balance=fb, communication=fc, total=total)
+
+
 class PacketMappingProblem(AnnealingProblem):
-    """Adapter exposing the packet-mapping search to the generic annealer."""
+    """Adapter exposing the packet-mapping search to the generic annealer.
+
+    *cost_function* may be a :class:`~repro.core.cost.PacketCostFunction`
+    (id-space packets) or a :class:`~repro.core.kernel.PacketKernel` paired
+    with its index-space packet — both expose ``total_cost`` and
+    ``incremental_delta``.
+    """
 
     def __init__(
         self,
@@ -183,8 +406,16 @@ class PacketAnnealer:
             comm_model=comm_model,
             weight_balance=cfg.weight_balance,
             weight_comm=cfg.weight_comm,
+            compiled=cfg.compiled,
         )
-        problem = PacketMappingProblem(packet, cost_fn, initial_mapping=cfg.initial_mapping)
+        kernel = cost_fn.kernel
+        if kernel is not None:
+            # Fast path: anneal in index space over the compiled tables.
+            problem = PacketMappingProblem(
+                kernel.index_packet(), kernel, initial_mapping=cfg.initial_mapping
+            )
+        else:
+            problem = PacketMappingProblem(packet, cost_fn, initial_mapping=cfg.initial_mapping)
 
         # Evaluate the seed mapping once so the outcome can report the
         # improvement achieved by annealing.  The seed is recomputed inside the
@@ -192,14 +423,17 @@ class PacketAnnealer:
         # dedicated child generator keeps both draws identical.
         seed_rng, run_rng = _split_rng(rng)
         initial_mapping = problem.initial_state(seed_rng)
-        initial_cost = cost_fn.total_cost(initial_mapping)
+        initial_cost = problem.cost(initial_mapping)
 
         trajectory: List[TrajectoryPoint] = []
         callback = None
         if record:
 
             def callback(rec, state) -> None:
-                parts = cost_fn.breakdown(state)
+                if kernel is not None:
+                    parts = _kernel_breakdown(kernel, state)
+                else:
+                    parts = cost_fn.breakdown(state)
                 trajectory.append(
                     TrajectoryPoint(
                         iteration=rec.iteration,
@@ -224,14 +458,25 @@ class PacketAnnealer:
             initial_temperature=cfg.initial_temperature,
             record_trajectory=False,
         )
-        result = annealer.run(problem, seed=run_rng, callback=callback)
+        if kernel is not None and callback is None:
+            # Fused fast path: same walk, same RNG stream, no per-proposal
+            # copies or scalar numpy draws.
+            result = _anneal_indexed(kernel, problem, annealer, as_rng(run_rng))
+        else:
+            result = annealer.run(problem, seed=run_rng, callback=callback)
 
         best_mapping: PacketMapping = result.best_state
+        if kernel is not None:
+            assignment = kernel.assignment_to_ids(best_mapping)
+            breakdown = _kernel_breakdown(kernel, best_mapping)
+        else:
+            assignment = best_mapping.as_dict()
+            breakdown = cost_fn.breakdown(best_mapping)
         return PacketAnnealingOutcome(
-            assignment=best_mapping.as_dict(),
+            assignment=assignment,
             best_cost=result.best_cost,
             initial_cost=initial_cost,
-            breakdown=cost_fn.breakdown(best_mapping),
+            breakdown=breakdown,
             n_proposals=result.n_proposals,
             n_accepted=result.n_accepted,
             n_temperature_steps=result.n_iterations,

@@ -7,7 +7,9 @@ Each module regenerates one artifact:
   architectures × {w/o comm, with comm} (Table 2),
 * :mod:`~repro.experiments.figure1` — per-packet cost trajectories (Figure 1),
 * :mod:`~repro.experiments.figure2` — Gantt chart of the Newton–Euler start
-  on the 8-processor hypercube (Figure 2).
+  on the 8-processor hypercube (Figure 2),
+* :mod:`~repro.experiments.sweep` — parallel scenario sweeps over policies ×
+  machines × graph families × seeds (``python -m repro.experiments.sweep``).
 
 The benchmark harness under ``benchmarks/`` simply calls these functions, so
 ``python -m repro.experiments.runner`` and ``pytest benchmarks/`` print the
@@ -19,6 +21,7 @@ from repro.experiments.table2 import Table2Cell, Table2Block, run_table2, format
 from repro.experiments.figure1 import run_figure1, format_figure1
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.runner import run_all
+from repro.experiments.sweep import run_sweep, format_sweep_report
 
 __all__ = [
     "Table1Row",
@@ -32,4 +35,6 @@ __all__ = [
     "format_figure1",
     "run_figure2",
     "run_all",
+    "run_sweep",
+    "format_sweep_report",
 ]

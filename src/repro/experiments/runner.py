@@ -3,6 +3,11 @@
 ``python -m repro.experiments.runner`` regenerates Table 1, Table 2, Figure 1
 and Figure 2 in one go.  The benchmark harness under ``benchmarks/`` calls
 the same per-experiment functions, so the two entry points always agree.
+
+``--jobs N`` distributes Table 2's (program × architecture × comm) cells over
+a process pool (results are identical for any job count); ``--fidelity``
+selects the simulator model used for Table 2 ("latency" — the default the SA
+cost function assumes — or the contention-aware "contention" model).
 """
 
 from __future__ import annotations
@@ -18,12 +23,17 @@ from repro.experiments.table2 import format_table2
 __all__ = ["run_all", "main"]
 
 
-def run_all(seed: int = 0, programs: Optional[List[str]] = None) -> str:
+def run_all(
+    seed: int = 0,
+    programs: Optional[List[str]] = None,
+    jobs: int = 1,
+    fidelity: str = "latency",
+) -> str:
     """Regenerate every table and figure and return the combined report text."""
     sections = [
         format_table1(seed=seed),
         "",
-        format_table2(seed=seed, programs=programs),
+        format_table2(seed=seed, programs=programs, jobs=jobs, fidelity=fidelity),
         "",
         format_figure1(seed=seed),
         "",
@@ -42,8 +52,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="restrict Table 2 to these program keys (NE GJ FFT MM)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the Table 2 grid (results identical for any count)",
+    )
+    parser.add_argument(
+        "--fidelity",
+        choices=["latency", "contention"],
+        default="latency",
+        help="simulator fidelity for Table 2",
+    )
     args = parser.parse_args(argv)
-    print(run_all(seed=args.seed, programs=args.programs))
+    print(run_all(seed=args.seed, programs=args.programs, jobs=args.jobs, fidelity=args.fidelity))
     return 0
 
 

@@ -1,0 +1,371 @@
+"""Parallel scenario sweeps: policies × machines × graph families × seeds.
+
+The paper evaluates four fixed programs on three architectures; the sweep
+runner generalizes that grid to arbitrary scenario combinations and runs it
+on a process pool, so large random-graph studies (hundreds to thousands of
+simulations) complete in wall-clock time bounded by the slowest worker
+rather than the sum of all runs.
+
+Every scenario is fully described by a plain-dict spec (policy name, machine
+name, graph family, seeds, communication setting, fidelity), so results are
+deterministic and independent of worker count or scheduling order: the seeds
+live in the spec, not in worker state.
+
+Use it from Python::
+
+    from repro.experiments.sweep import run_sweep
+    report = run_sweep(jobs=4)
+    print(report["aggregates"])
+
+or from the command line::
+
+    python -m repro.experiments.sweep --jobs 4 --out sweep_report.json
+
+The module also exposes :func:`parallel_map`, the pool helper the other
+experiment drivers (e.g. Table 2 with ``--jobs``) reuse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing as mp
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.model import LinearCommModel, ZeroCommModel
+from repro.core.config import SAConfig
+from repro.core.sa_scheduler import SAScheduler
+from repro.machine.machine import Machine
+from repro.schedulers.etf import ETFScheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.hlf import HLFScheduler
+from repro.schedulers.random_policy import RandomScheduler
+from repro.sim.engine import simulate
+from repro.taskgraph.generators import layered_random, random_dag
+from repro.utils.tabulate import format_table
+
+__all__ = [
+    "MACHINE_BUILDERS",
+    "GRAPH_FAMILIES",
+    "POLICY_BUILDERS",
+    "build_grid",
+    "run_scenario",
+    "run_sweep",
+    "parallel_map",
+    "format_sweep_report",
+    "main",
+]
+
+# --------------------------------------------------------------------------- #
+# Scenario registries.  Every entry is a zero-state builder keyed by a plain
+# string, so a scenario spec is picklable and self-describing.
+# --------------------------------------------------------------------------- #
+
+MACHINE_BUILDERS: Dict[str, Callable[[], Machine]] = {
+    "hypercube8": lambda: Machine.hypercube(3),
+    "bus8": lambda: Machine.bus(8),
+    "ring9": lambda: Machine.ring(9),
+    "mesh16": lambda: Machine.mesh(4, 4),
+    "full4": lambda: Machine.fully_connected(4),
+}
+
+GRAPH_FAMILIES: Dict[str, Callable[[int], "object"]] = {
+    "layered": lambda seed: layered_random(
+        n_layers=6, width=8, edge_probability=0.4,
+        mean_duration=20.0, mean_comm=8.0, seed=seed,
+    ),
+    "layered-wide": lambda seed: layered_random(
+        n_layers=4, width=16, edge_probability=0.3,
+        mean_duration=20.0, mean_comm=6.0, seed=seed,
+    ),
+    "dag": lambda seed: random_dag(
+        40, edge_probability=0.2, mean_duration=15.0, mean_comm=5.0, seed=seed,
+    ),
+    "dag-dense": lambda seed: random_dag(
+        60, edge_probability=0.35, mean_duration=15.0, mean_comm=8.0, seed=seed,
+    ),
+}
+
+POLICY_BUILDERS: Dict[str, Callable[[int], "object"]] = {
+    "HLF": lambda seed: HLFScheduler(seed=seed),
+    "HLF/min-comm": lambda seed: HLFScheduler(placement="min_comm"),
+    "ETF": lambda seed: ETFScheduler(),
+    "FIFO": lambda seed: FIFOScheduler(),
+    "Random": lambda seed: RandomScheduler(seed=seed),
+    "SA": lambda seed: SAScheduler(SAConfig.paper_defaults(seed=seed)),
+}
+
+
+# --------------------------------------------------------------------------- #
+# Grid construction and the per-scenario worker
+# --------------------------------------------------------------------------- #
+
+def build_grid(
+    policies: Sequence[str] = ("HLF", "ETF", "SA"),
+    machines: Sequence[str] = ("hypercube8", "ring9"),
+    families: Sequence[str] = ("layered", "dag"),
+    n_seeds: int = 17,
+    base_seed: int = 0,
+    comm: Sequence[bool] = (True,),
+    fidelity: str = "latency",
+) -> List[dict]:
+    """Expand the scenario grid into a list of picklable spec dicts.
+
+    Each seed index produces one graph instance per family (``graph_seed =
+    base_seed + index``); every policy runs on the same instances so the
+    comparison is paired.  Unknown registry keys raise ``KeyError`` early,
+    before any worker starts.
+    """
+    for name in policies:
+        if name not in POLICY_BUILDERS:
+            raise KeyError(f"unknown policy {name!r}; known: {sorted(POLICY_BUILDERS)}")
+    for name in machines:
+        if name not in MACHINE_BUILDERS:
+            raise KeyError(f"unknown machine {name!r}; known: {sorted(MACHINE_BUILDERS)}")
+    for name in families:
+        if name not in GRAPH_FAMILIES:
+            raise KeyError(f"unknown graph family {name!r}; known: {sorted(GRAPH_FAMILIES)}")
+    grid: List[dict] = []
+    for family in families:
+        for index in range(n_seeds):
+            for machine in machines:
+                for with_comm in comm:
+                    for policy in policies:
+                        grid.append(
+                            {
+                                "policy": policy,
+                                "machine": machine,
+                                "family": family,
+                                "graph_seed": base_seed + index,
+                                "policy_seed": base_seed + index,
+                                "with_comm": bool(with_comm),
+                                "fidelity": fidelity,
+                            }
+                        )
+    return grid
+
+
+def run_scenario(spec: dict) -> dict:
+    """Run one scenario spec and return its result row (the pool worker).
+
+    Failures are captured in the row (``error`` key) instead of poisoning the
+    whole sweep.
+    """
+    row = dict(spec)
+    start = time.perf_counter()
+    try:
+        graph = GRAPH_FAMILIES[spec["family"]](spec["graph_seed"])
+        machine = MACHINE_BUILDERS[spec["machine"]]()
+        policy = POLICY_BUILDERS[spec["policy"]](spec["policy_seed"])
+        comm_model = LinearCommModel() if spec["with_comm"] else ZeroCommModel()
+        result = simulate(
+            graph,
+            machine,
+            policy,
+            comm_model=comm_model,
+            fidelity=spec.get("fidelity", "latency"),
+            record_trace=False,
+        )
+        row.update(
+            makespan=result.makespan,
+            speedup=result.speedup(),
+            n_tasks=graph.n_tasks,
+            n_packets=result.n_packets,
+            error=None,
+        )
+    except Exception as exc:  # pragma: no cover - defensive
+        row.update(makespan=None, speedup=None, n_tasks=None, n_packets=None,
+                   error=f"{type(exc).__name__}: {exc}")
+    row["runtime_s"] = time.perf_counter() - start
+    return row
+
+
+def parallel_map(fn: Callable[[dict], dict], items: Iterable[dict], jobs: int = 1) -> List[dict]:
+    """Map *fn* over *items*, on a process pool when ``jobs > 1``.
+
+    Results keep the input order regardless of worker scheduling, so a
+    parallel run is indistinguishable from a serial one.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    chunksize = max(1, len(items) // (4 * jobs))
+    with ctx.Pool(processes=jobs) as pool:
+        return pool.map(fn, items, chunksize=chunksize)
+
+
+# --------------------------------------------------------------------------- #
+# Aggregation and the sweep driver
+# --------------------------------------------------------------------------- #
+
+def _aggregate(rows: List[dict]) -> List[dict]:
+    """Group result rows by (policy, machine, family, comm) and summarize."""
+    groups: Dict[tuple, List[dict]] = {}
+    for row in rows:
+        key = (row["policy"], row["machine"], row["family"], row["with_comm"])
+        groups.setdefault(key, []).append(row)
+    aggregates = []
+    for (policy, machine, family, with_comm), members in sorted(groups.items()):
+        ok = [m for m in members if m.get("error") is None]
+        speedups = np.array([m["speedup"] for m in ok], dtype=float)
+        makespans = np.array([m["makespan"] for m in ok], dtype=float)
+        aggregates.append(
+            {
+                "policy": policy,
+                "machine": machine,
+                "family": family,
+                "with_comm": with_comm,
+                "n": len(members),
+                "n_failed": len(members) - len(ok),
+                "mean_speedup": float(speedups.mean()) if len(ok) else None,
+                "std_speedup": float(speedups.std()) if len(ok) else None,
+                "min_speedup": float(speedups.min()) if len(ok) else None,
+                "max_speedup": float(speedups.max()) if len(ok) else None,
+                "mean_makespan": float(makespans.mean()) if len(ok) else None,
+                "total_runtime_s": float(sum(m["runtime_s"] for m in members)),
+            }
+        )
+    return aggregates
+
+
+def run_sweep(
+    policies: Sequence[str] = ("HLF", "ETF", "SA"),
+    machines: Sequence[str] = ("hypercube8", "ring9"),
+    families: Sequence[str] = ("layered", "dag"),
+    n_seeds: int = 17,
+    base_seed: int = 0,
+    comm: Sequence[bool] = (True,),
+    fidelity: str = "latency",
+    jobs: int = 1,
+    out: Optional[str] = None,
+) -> dict:
+    """Run the whole scenario grid and return (optionally write) the report.
+
+    The report dict has ``meta`` (grid shape, wall time, jobs), ``results``
+    (one row per simulation) and ``aggregates`` (per-cell summary).  With the
+    default grid that is 3 policies × 2 machines × 2 families × 17 seeds =
+    204 simulations.
+    """
+    grid = build_grid(
+        policies=policies,
+        machines=machines,
+        families=families,
+        n_seeds=n_seeds,
+        base_seed=base_seed,
+        comm=comm,
+        fidelity=fidelity,
+    )
+    wall_start = time.perf_counter()
+    rows = parallel_map(run_scenario, grid, jobs=jobs)
+    wall = time.perf_counter() - wall_start
+    report = {
+        "meta": {
+            "n_simulations": len(rows),
+            "n_failed": sum(1 for r in rows if r.get("error") is not None),
+            "jobs": jobs,
+            "wall_time_s": wall,
+            "total_cpu_time_s": float(sum(r["runtime_s"] for r in rows)),
+            "policies": list(policies),
+            "machines": list(machines),
+            "families": list(families),
+            "n_seeds": n_seeds,
+            "base_seed": base_seed,
+            "comm": [bool(c) for c in comm],
+            "fidelity": fidelity,
+        },
+        "results": rows,
+        "aggregates": _aggregate(rows),
+    }
+    if out:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=1)
+    return report
+
+
+def format_sweep_report(report: dict) -> str:
+    """Render the aggregate table of a sweep report."""
+    rows = [
+        [
+            a["policy"],
+            a["machine"],
+            a["family"],
+            "with" if a["with_comm"] else "w/o",
+            a["n"],
+            a["mean_speedup"],
+            a["std_speedup"],
+            a["mean_makespan"],
+        ]
+        for a in report["aggregates"]
+    ]
+    meta = report["meta"]
+    title = (
+        f"Sweep: {meta['n_simulations']} simulations "
+        f"({meta['jobs']} jobs, {meta['wall_time_s']:.1f}s wall, "
+        f"{meta['total_cpu_time_s']:.1f}s cpu)"
+    )
+    return format_table(
+        rows,
+        headers=["Policy", "Machine", "Family", "Comm", "n", "Sp mean", "Sp std", "Makespan"],
+        title=title,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run a parallel scheduling-scenario sweep and write a JSON report."
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    parser.add_argument("--seeds", type=int, default=17, help="graph seeds per family")
+    parser.add_argument("--base-seed", type=int, default=0, help="first graph/policy seed")
+    parser.add_argument(
+        "--policies", nargs="*", default=["HLF", "ETF", "SA"],
+        help=f"policies to run (known: {sorted(POLICY_BUILDERS)})",
+    )
+    parser.add_argument(
+        "--machines", nargs="*", default=["hypercube8", "ring9"],
+        help=f"machines to run (known: {sorted(MACHINE_BUILDERS)})",
+    )
+    parser.add_argument(
+        "--families", nargs="*", default=["layered", "dag"],
+        help=f"graph families to run (known: {sorted(GRAPH_FAMILIES)})",
+    )
+    parser.add_argument(
+        "--comm", choices=["with", "without", "both"], default="with",
+        help="communication setting(s) to simulate",
+    )
+    parser.add_argument(
+        "--fidelity", choices=["latency", "contention"], default="latency",
+        help="simulator fidelity",
+    )
+    parser.add_argument("--out", default="sweep_report.json", help="JSON report path")
+    args = parser.parse_args(argv)
+
+    comm = {"with": (True,), "without": (False,), "both": (False, True)}[args.comm]
+    try:
+        build_grid(policies=args.policies, machines=args.machines, families=args.families,
+                   n_seeds=1)
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+    report = run_sweep(
+        policies=args.policies,
+        machines=args.machines,
+        families=args.families,
+        n_seeds=args.seeds,
+        base_seed=args.base_seed,
+        comm=comm,
+        fidelity=args.fidelity,
+        jobs=args.jobs,
+        out=args.out,
+    )
+    print(format_sweep_report(report))
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

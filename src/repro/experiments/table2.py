@@ -109,7 +109,9 @@ def _architectures() -> Dict[str, Machine]:
     return Machine.paper_architectures()
 
 
-def _hlf_speedup(graph, machine, comm_model, placement_seeds: Sequence[int]) -> float:
+def _hlf_speedup(
+    graph, machine, comm_model, placement_seeds: Sequence[int], fidelity: str = "latency"
+) -> float:
     """Mean HLF speedup over a few arbitrary-placement seeds."""
     speedups = [
         simulate(
@@ -117,6 +119,7 @@ def _hlf_speedup(graph, machine, comm_model, placement_seeds: Sequence[int]) -> 
             machine,
             HLFScheduler(seed=s),
             comm_model=comm_model,
+            fidelity=fidelity,
             record_trace=False,
         ).speedup()
         for s in placement_seeds
@@ -130,6 +133,7 @@ def _sa_speedup(
     comm_model,
     weights: Sequence[float],
     seed: int,
+    fidelity: str = "latency",
 ) -> tuple[float, float]:
     """Best SA speedup over the weight grid; returns (speedup, winning w_c)."""
     best_speedup = -1.0
@@ -141,6 +145,7 @@ def _sa_speedup(
             machine,
             SAScheduler(config),
             comm_model=comm_model,
+            fidelity=fidelity,
             record_trace=False,
         )
         if result.speedup() > best_speedup:
@@ -149,12 +154,29 @@ def _sa_speedup(
     return best_speedup, best_wc
 
 
+def _run_cell(spec: dict) -> dict:
+    """Compute one (program, architecture, comm) cell — the ``--jobs`` pool worker."""
+    graph = PAPER_PROGRAMS[spec["program"]].build(seed=0)
+    machine = _architectures()[spec["architecture"]]
+    with_comm = spec["with_comm"]
+    comm_model = LinearCommModel() if with_comm else ZeroCommModel()
+    weights = tuple(spec["weights"]) if with_comm else (0.5,)
+    sa_speedup, wc = _sa_speedup(
+        graph, machine, comm_model, weights, spec["seed"], spec["fidelity"]
+    )
+    hlf_speedup = _hlf_speedup(
+        graph, machine, comm_model, tuple(spec["hlf_seeds"]), spec["fidelity"]
+    )
+    return dict(spec, speedup_sa=sa_speedup, speedup_hlf=hlf_speedup, sa_weight_comm=wc)
+
+
 def run_table2(
     programs: Optional[List[str]] = None,
     seed: int = 1,
     sa_weights: Sequence[float] = (0.3, 0.5, 0.7),
     hlf_placement_seeds: Sequence[int] = (0, 1, 2, 3),
     fidelity: str = "latency",
+    jobs: int = 1,
 ) -> List[Table2Block]:
     """Regenerate Table 2.
 
@@ -173,29 +195,44 @@ def run_table2(
         Seeds of the arbitrary HLF placements averaged into the baseline.
     fidelity:
         Simulator fidelity ("latency" or "contention").
+    jobs:
+        Worker processes over the (program, architecture, comm) cells.  Every
+        cell carries its own seeds, so results are identical for any job
+        count.
     """
+    from repro.experiments.sweep import parallel_map
+
     program_keys = programs if programs is not None else list(PAPER_PROGRAMS.keys())
-    machines = _architectures()
+    arch_names = list(_architectures().keys())
+    specs = [
+        {
+            "program": key,
+            "architecture": arch_name,
+            "with_comm": with_comm,
+            "weights": list(sa_weights),
+            "hlf_seeds": list(hlf_placement_seeds),
+            "seed": seed,
+            "fidelity": fidelity,
+        }
+        for key in program_keys
+        for arch_name in arch_names
+        for with_comm in (False, True)
+    ]
+    cells = parallel_map(_run_cell, specs, jobs=jobs)
     blocks: List[Table2Block] = []
     for key in program_keys:
-        spec = PAPER_PROGRAMS[key]
-        graph = spec.build(seed=0)
-        block = Table2Block(program=spec.display_name)
-        for arch_name, machine in machines.items():
-            for with_comm in (False, True):
-                comm_model = LinearCommModel() if with_comm else ZeroCommModel()
-                weights = sa_weights if with_comm else (0.5,)
-                sa_speedup, wc = _sa_speedup(graph, machine, comm_model, weights, seed)
-                hlf_speedup = _hlf_speedup(graph, machine, comm_model, hlf_placement_seeds)
-                block.cells.append(
-                    Table2Cell(
-                        architecture=arch_name,
-                        with_communication=with_comm,
-                        speedup_sa=sa_speedup,
-                        speedup_hlf=hlf_speedup,
-                        sa_weight_comm=wc,
-                    )
-                )
+        block = Table2Block(program=PAPER_PROGRAMS[key].display_name)
+        block.cells = [
+            Table2Cell(
+                architecture=c["architecture"],
+                with_communication=c["with_comm"],
+                speedup_sa=c["speedup_sa"],
+                speedup_hlf=c["speedup_hlf"],
+                sa_weight_comm=c["sa_weight_comm"],
+            )
+            for c in cells
+            if c["program"] == key
+        ]
         blocks.append(block)
     return blocks
 

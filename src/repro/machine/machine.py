@@ -83,6 +83,24 @@ class Machine:
         """A copy of the full hop-distance matrix."""
         return self._distance.copy()
 
+    def distances_from(self, src: int, dsts=None) -> np.ndarray:
+        """Hop distances from *src* to *dsts* (default: every processor).
+
+        Returns a fresh integer array; *dsts* may be any sequence of processor
+        indices (out-of-range indices raise ``IndexError``).  This is the
+        vectorized counterpart of :meth:`distance`, used by the packet-kernel
+        communication-table builder.
+        """
+        self.topology._check_proc(src)
+        if dsts is None:
+            return self._distance[src].copy()
+        indices = np.asarray(dsts, dtype=np.intp)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n_processors):
+            raise IndexError(
+                f"processor indices must be in [0, {self.n_processors}), got {dsts!r}"
+            )
+        return self._distance[src, indices]
+
     @property
     def diameter(self) -> int:
         """The largest hop distance between any two processors."""

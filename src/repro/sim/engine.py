@@ -22,11 +22,15 @@ Two fidelities are available:
 
 Because a task only becomes ready when all its predecessors have finished,
 all message timings are computable at assignment time, which keeps the event
-set small (task completions only) and the runs fast and deterministic.
+set small (task completions only) and the runs fast and deterministic.  The
+ready set is maintained incrementally — a task is inserted when its
+unfinished-predecessor count decrements to zero and removed when it is
+assigned — so an epoch costs O(ready) rather than O(all tasks).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.comm.model import CommunicationModel, LinearCommModel
@@ -107,15 +111,26 @@ class Simulator:
 
         levels = graph.levels()
         # --- mutable simulation state ---------------------------------- #
+        all_tasks = graph.tasks
+        all_procs = machine.processors
+        task_order: Dict[TaskId, int] = {t: k for k, t in enumerate(all_tasks)}
         unfinished_preds: Dict[TaskId, int] = {
-            t: graph.in_degree(t) for t in graph.tasks
+            t: graph.in_degree(t) for t in all_tasks
         }
+        # The ready set is maintained incrementally (decrement-to-zero
+        # insertion when a predecessor finishes, removal on assignment)
+        # instead of rescanning the whole task list at every epoch.  It is
+        # kept as a sorted list of graph-insertion indices so the epoch's
+        # ready order is identical to a full scan's.
+        ready_keys: List[int] = [
+            task_order[t] for t in all_tasks if unfinished_preds[t] == 0
+        ]
         assigned_proc: Dict[TaskId, ProcId] = {}
         finish_times: Dict[TaskId, float] = {}
         finished: set = set()
-        proc_occupant: Dict[ProcId, Optional[TaskId]] = {p: None for p in machine.processors}
-        proc_task_free: Dict[ProcId, float] = {p: 0.0 for p in machine.processors}
-        proc_comm_free: Dict[ProcId, float] = {p: 0.0 for p in machine.processors}
+        proc_occupant: Dict[ProcId, Optional[TaskId]] = {p: None for p in all_procs}
+        proc_task_free: Dict[ProcId, float] = {p: 0.0 for p in all_procs}
+        proc_comm_free: Dict[ProcId, float] = {p: 0.0 for p in all_procs}
         link_free: Dict[Tuple[int, int], float] = {}
         trace = ExecutionTrace()
         events = EventQueue()
@@ -123,14 +138,10 @@ class Simulator:
 
         # --- helpers ----------------------------------------------------- #
         def ready_tasks() -> List[TaskId]:
-            return [
-                t
-                for t in graph.tasks
-                if t not in assigned_proc and unfinished_preds[t] == 0
-            ]
+            return [all_tasks[k] for k in ready_keys]
 
         def idle_processors() -> List[ProcId]:
-            return [p for p in machine.processors if proc_occupant[p] is None]
+            return [p for p in all_procs if proc_occupant[p] is None]
 
         def add_overhead(proc: ProcId, start: float, end: float, kind: str, task=None) -> None:
             if self.record_trace and end > start:
@@ -202,6 +213,7 @@ class Simulator:
             return arrival
 
         def place(task: TaskId, proc: ProcId, now: float) -> None:
+            del ready_keys[bisect_left(ready_keys, task_order[task])]
             assigned_proc[task] = proc
             proc_occupant[proc] = task
             data_ready = now
@@ -254,7 +266,7 @@ class Simulator:
                 comm_model=self.comm_model,
                 processor_ready_time={
                     p: (now if proc_occupant[p] is None else proc_task_free[p])
-                    for p in machine.processors
+                    for p in all_procs
                 },
             )
             assignment = self.policy.assign(ctx)
@@ -291,6 +303,8 @@ class Simulator:
                     proc_occupant[proc] = None
                 for succ in graph.successors(task):
                     unfinished_preds[succ] -= 1
+                    if unfinished_preds[succ] == 0:
+                        insort(ready_keys, task_order[succ])
             run_epoch(now)
 
         makespan = max(finish_times.values()) if finish_times else 0.0

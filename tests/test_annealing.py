@@ -225,3 +225,37 @@ class TestAnnealer:
         problem = _QuadraticProblem()
         t0 = problem.initial_temperature(np.random.default_rng(0))
         assert t0 > 0
+
+
+class _DriftingProblem(AnnealingProblem):
+    """1-D quadratic whose incremental deltas carry a deliberate bias.
+
+    Without per-temperature resynchronization the tracked cost diverges from
+    the true cost by ~0.01 per accepted move.
+    """
+
+    def initial_state(self, rng):
+        return 10.0
+
+    def propose(self, state, rng):
+        return state + float(rng.normal(0.0, 1.0))
+
+    def cost(self, state):
+        return state * state
+
+    def cost_delta(self, state, new_state, state_cost):
+        return (new_state * new_state - state * state) + 0.01
+
+
+class TestIncrementalCostResync:
+    def test_final_cost_resynchronized_against_drift(self):
+        annealer = Annealer(moves_per_temperature=10)
+        result = annealer.run(_DriftingProblem(), seed=0)
+        # The biased deltas would otherwise accumulate ~0.01 * n_accepted of
+        # drift; the per-temperature resync pins the final cost to the truth.
+        assert result.final_cost == pytest.approx(result.final_state**2, abs=1e-9)
+        assert result.n_accepted > 0
+
+    def test_resync_tolerance_validated(self):
+        with pytest.raises(ValueError):
+            Annealer(resync_tolerance=-1.0)

@@ -256,3 +256,76 @@ class TestMoves:
             state = propose_move(packet, state, rng)
             max_seen = max(max_seen, state.n_assigned)
         assert max_seen == packet.n_assignable
+
+
+class TestPacketKernel:
+    """The compiled packet kernel (dense cost tables) and its degenerate cases."""
+
+    def test_comm_table_matches_scalar_costs(self, simple_packet, hypercube8):
+        from repro.comm.model import LinearCommModel
+        from repro.core.kernel import PacketKernel
+
+        model = LinearCommModel()
+        kernel = PacketKernel(simple_packet, hypercube8, comm_model=model)
+        for i, task in enumerate(simple_packet.ready_tasks):
+            for j, proc in enumerate(simple_packet.idle_processors):
+                expected = sum(
+                    model.cost(hypercube8, w, pred_proc, proc)
+                    for _, pred_proc, w in simple_packet.predecessor_placement.get(task, ())
+                )
+                assert kernel.comm_table[i, j] == expected
+
+    def test_compiled_and_reference_costs_identical(self, simple_packet, hypercube8):
+        fast = PacketCostFunction(simple_packet, hypercube8, compiled=True)
+        slow = PacketCostFunction(simple_packet, hypercube8, compiled=False)
+        rng = np.random.default_rng(4)
+        state = PacketMapping()
+        for _ in range(100):
+            state = propose_move(simple_packet, state, rng)
+            assert fast.total_cost(state) == slow.total_cost(state)
+            assert fast.incremental_delta(state.last_change) == pytest.approx(
+                slow.incremental_delta(state.last_change), abs=1e-12
+            )
+        assert fast.balance_range == slow.balance_range
+        assert fast.comm_range == slow.comm_range
+
+    def test_cost_for_processor_outside_packet_falls_back_to_scalar(self, hypercube8):
+        # Idle set is {0, 1}; placing on processor 5 is legal for hand-built
+        # mappings and must be scored identically by both paths.
+        packet = make_packet(
+            levels={"x": 5.0},
+            pred_placement={"x": [("p", 3, 4.0)]},
+            idle_procs=[0, 1],
+        )
+        fast = PacketCostFunction(packet, hypercube8, compiled=True)
+        slow = PacketCostFunction(packet, hypercube8, compiled=False)
+        assert fast.task_communication_cost("x", 5) == slow.task_communication_cost("x", 5)
+        assert fast.task_communication_cost("x", 5) > 0.0
+
+    def test_index_packet_and_assignment_roundtrip(self, simple_packet, hypercube8):
+        from repro.core.kernel import PacketKernel
+
+        kernel = PacketKernel(simple_packet, hypercube8)
+        indexed = kernel.index_packet()
+        assert indexed.ready_tasks == tuple(range(simple_packet.n_ready))
+        assert indexed.idle_processors == tuple(range(simple_packet.n_idle))
+        mapping = PacketMapping({0: 1, 2: 0})
+        ids = kernel.assignment_to_ids(mapping)
+        assert ids == {
+            simple_packet.ready_tasks[0]: simple_packet.idle_processors[1],
+            simple_packet.ready_tasks[2]: simple_packet.idle_processors[0],
+        }
+
+    def test_degenerate_packet_without_idle_processors_clamps_comm_range(self, hypercube8):
+        # Regression: `min(n_idle, len(totals)) or len(totals)` silently
+        # selected *all* candidates when n_idle == 0; the range must instead
+        # fall back to the neutral guard value.
+        packet = make_packet(
+            levels={"x": 5.0, "y": 3.0},
+            pred_placement={"x": [("p", 3, 4.0)], "y": [("q", 2, 9.0)]},
+            idle_procs=[],
+        )
+        fn = PacketCostFunction(packet, hypercube8)
+        assert fn.comm_range == 1.0
+        assert fn.balance_range > 0
+        assert np.isfinite(fn.total_cost(PacketMapping()))

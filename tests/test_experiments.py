@@ -75,6 +75,30 @@ class TestTable2:
         with pytest.raises(KeyError):
             blocks[0].cell("Nonexistent", True)
 
+    def test_parallel_jobs_identical_to_serial(self):
+        kwargs = dict(programs=["FFT"], sa_weights=(0.5,), hlf_placement_seeds=(0,))
+        serial = run_table2(jobs=1, **kwargs)
+        parallel = run_table2(jobs=2, **kwargs)
+        for b_serial, b_parallel in zip(serial, parallel):
+            assert b_serial.program == b_parallel.program
+            for c_serial, c_parallel in zip(b_serial.cells, b_parallel.cells):
+                assert c_serial.speedup_sa == c_parallel.speedup_sa
+                assert c_serial.speedup_hlf == c_parallel.speedup_hlf
+
+    def test_fidelity_is_threaded_through(self):
+        kwargs = dict(programs=["FFT"], sa_weights=(0.5,), hlf_placement_seeds=(0,))
+        latency = run_table2(fidelity="latency", **kwargs)
+        contention = run_table2(fidelity="contention", **kwargs)
+        # The contention model charges link queueing and routing busy time, so
+        # at least one with-comm cell must differ from the latency model.
+        diffs = [
+            abs(cl.speedup_sa - cc.speedup_sa) + abs(cl.speedup_hlf - cc.speedup_hlf)
+            for bl, bc in zip(latency, contention)
+            for cl, cc in zip(bl.cells, bc.cells)
+            if cl.with_communication
+        ]
+        assert max(diffs) > 0
+
     def test_format_produces_one_section_per_program(self):
         blocks = run_table2(programs=["FFT"], sa_weights=(0.5,), hlf_placement_seeds=(0,))
         text = format_table2(blocks)

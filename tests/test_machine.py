@@ -217,3 +217,24 @@ class TestMachine:
         assert Machine.mesh(2, 3).n_processors == 6
         assert Machine.fully_connected(4).diameter == 1
         assert Machine.bus(8).diameter == 2
+
+
+class TestDistancesFrom:
+    def test_matches_scalar_distance(self):
+        from repro.machine.machine import Machine
+
+        machine = Machine.hypercube(3)
+        row = machine.distances_from(0)
+        for j in range(8):
+            assert row[j] == machine.distance(0, j)
+        sub = machine.distances_from(3, [1, 5, 7])
+        assert list(sub) == [machine.distance(3, p) for p in (1, 5, 7)]
+
+    def test_out_of_range_indices_rejected(self):
+        from repro.machine.machine import Machine
+
+        machine = Machine.hypercube(3)
+        with pytest.raises(IndexError):
+            machine.distances_from(0, [-1])
+        with pytest.raises(IndexError):
+            machine.distances_from(0, [8])

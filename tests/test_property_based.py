@@ -188,3 +188,70 @@ class TestPacketCostProperties:
             # bidirectional maps stay consistent
             for task, proc in state.task_to_proc.items():
                 assert state.proc_to_task[proc] == task
+
+
+class TestKernelEquivalenceProperties:
+    """The compiled kernel must replay the reference implementation exactly."""
+
+    @given(data=random_packets(), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_kernel_incremental_delta_matches_full_recompute(self, data, seed):
+        from repro.core.kernel import PacketKernel
+
+        packet, machine = data
+        kernel = PacketKernel(packet, machine)
+        indexed = kernel.index_packet()
+        rng = np.random.default_rng(seed)
+        state = PacketMapping()
+        cost = kernel.total_cost(state)
+        for _ in range(40):
+            new = propose_move(indexed, state, rng)
+            delta = kernel.incremental_delta(new.last_change)
+            new_cost = kernel.total_cost(new)
+            assert new_cost - cost == pytest.approx(delta, abs=1e-9)
+            state, cost = new, new_cost
+
+    @given(data=random_packets(), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_compiled_cost_function_equals_reference_on_move_chains(self, data, seed):
+        packet, machine = data
+        fast = PacketCostFunction(packet, machine, compiled=True)
+        slow = PacketCostFunction(packet, machine, compiled=False)
+        rng = np.random.default_rng(seed)
+        state = PacketMapping()
+        for _ in range(40):
+            state = propose_move(packet, state, rng)
+            assert fast.total_cost(state) == slow.total_cost(state)
+            assert fast.incremental_delta(state.last_change) == pytest.approx(
+                slow.incremental_delta(state.last_change), abs=1e-9
+            )
+
+    @given(data=random_packets(), seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_compiled_annealer_reproduces_reference_assignments(self, data, seed):
+        from repro.core.packet_annealer import PacketAnnealer
+
+        packet, machine = data
+        fast = PacketAnnealer(SAConfig(seed=0)).anneal(packet, machine, rng=seed)
+        slow = PacketAnnealer(SAConfig(seed=0, compiled=False)).anneal(packet, machine, rng=seed)
+        # Same seed, same RNG stream, same accepted moves: the committed
+        # mapping, its cost and the proposal counts must all coincide.
+        assert fast.assignment == slow.assignment
+        assert fast.best_cost == slow.best_cost
+        assert fast.initial_cost == slow.initial_cost
+        assert fast.n_proposals == slow.n_proposals
+        assert fast.n_accepted == slow.n_accepted
+        assert fast.n_temperature_steps == slow.n_temperature_steps
+
+    @given(data=random_packets(), seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_initial_mapping_also_reproduced(self, data, seed):
+        from repro.core.packet_annealer import PacketAnnealer
+
+        packet, machine = data
+        config_fast = SAConfig(seed=0, initial_mapping="random")
+        config_slow = SAConfig(seed=0, initial_mapping="random", compiled=False)
+        fast = PacketAnnealer(config_fast).anneal(packet, machine, rng=seed)
+        slow = PacketAnnealer(config_slow).anneal(packet, machine, rng=seed)
+        assert fast.assignment == slow.assignment
+        assert fast.best_cost == slow.best_cost

@@ -1,0 +1,144 @@
+"""Tests for the parallel experiment sweep runner."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.sweep import (
+    GRAPH_FAMILIES,
+    MACHINE_BUILDERS,
+    POLICY_BUILDERS,
+    build_grid,
+    format_sweep_report,
+    main,
+    parallel_map,
+    run_scenario,
+    run_sweep,
+)
+
+
+class TestGrid:
+    def test_default_grid_size(self):
+        grid = build_grid()
+        assert len(grid) == 3 * 2 * 2 * 17  # policies x machines x families x seeds
+        assert len(grid) >= 200
+
+    def test_grid_is_fully_specified(self):
+        for spec in build_grid(n_seeds=2):
+            assert spec["policy"] in POLICY_BUILDERS
+            assert spec["machine"] in MACHINE_BUILDERS
+            assert spec["family"] in GRAPH_FAMILIES
+            assert isinstance(spec["graph_seed"], int)
+
+    def test_unknown_keys_rejected_early(self):
+        with pytest.raises(KeyError):
+            build_grid(policies=("NOPE",))
+        with pytest.raises(KeyError):
+            build_grid(machines=("NOPE",))
+        with pytest.raises(KeyError):
+            build_grid(families=("NOPE",))
+
+    def test_comm_settings_expand(self):
+        grid = build_grid(policies=("HLF",), machines=("hypercube8",),
+                          families=("layered",), n_seeds=1, comm=(False, True))
+        assert [g["with_comm"] for g in grid] == [False, True]
+
+
+class TestScenario:
+    def test_run_scenario_returns_complete_row(self):
+        spec = {
+            "policy": "HLF",
+            "machine": "hypercube8",
+            "family": "layered",
+            "graph_seed": 0,
+            "policy_seed": 0,
+            "with_comm": True,
+            "fidelity": "latency",
+        }
+        row = run_scenario(spec)
+        assert row["error"] is None
+        assert row["makespan"] > 0
+        assert 0 < row["speedup"] <= 8
+        assert row["runtime_s"] >= 0
+
+    def test_scenario_is_deterministic(self):
+        spec = {
+            "policy": "SA",
+            "machine": "ring9",
+            "family": "dag",
+            "graph_seed": 3,
+            "policy_seed": 3,
+            "with_comm": True,
+            "fidelity": "latency",
+        }
+        assert run_scenario(spec)["makespan"] == run_scenario(spec)["makespan"]
+
+
+class TestSweep:
+    def _small_kwargs(self):
+        return dict(
+            policies=("HLF", "SA"),
+            machines=("hypercube8",),
+            families=("layered",),
+            n_seeds=2,
+        )
+
+    def test_serial_sweep_report_structure(self):
+        report = run_sweep(jobs=1, **self._small_kwargs())
+        assert report["meta"]["n_simulations"] == 4
+        assert report["meta"]["n_failed"] == 0
+        assert len(report["results"]) == 4
+        assert len(report["aggregates"]) == 2  # one per policy
+        for aggregate in report["aggregates"]:
+            assert aggregate["n"] == 2
+            assert aggregate["mean_speedup"] > 0
+
+    def test_parallel_equals_serial(self):
+        serial = run_sweep(jobs=1, **self._small_kwargs())
+        parallel = run_sweep(jobs=2, **self._small_kwargs())
+        serial_makespans = [r["makespan"] for r in serial["results"]]
+        parallel_makespans = [r["makespan"] for r in parallel["results"]]
+        assert serial_makespans == parallel_makespans
+
+    def test_report_written_to_json(self, tmp_path):
+        out = tmp_path / "report.json"
+        run_sweep(jobs=1, out=str(out), **self._small_kwargs())
+        loaded = json.loads(out.read_text())
+        assert loaded["meta"]["n_simulations"] == 4
+
+    def test_format_sweep_report(self):
+        report = run_sweep(jobs=1, **self._small_kwargs())
+        text = format_sweep_report(report)
+        assert "Sweep: 4 simulations" in text
+        assert "HLF" in text and "SA" in text
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        items = [{"policy": "HLF", "machine": "hypercube8", "family": "layered",
+                  "graph_seed": s, "policy_seed": s, "with_comm": True,
+                  "fidelity": "latency"} for s in range(4)]
+        rows = parallel_map(run_scenario, items, jobs=2)
+        assert [r["graph_seed"] for r in rows] == [0, 1, 2, 3]
+
+    def test_serial_fallback(self):
+        rows = parallel_map(run_scenario, [], jobs=4)
+        assert rows == []
+
+
+class TestCli:
+    def test_main_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "cli_report.json"
+        code = main([
+            "--jobs", "2", "--seeds", "2",
+            "--policies", "HLF", "SA",
+            "--machines", "hypercube8",
+            "--families", "layered",
+            "--out", str(out),
+        ])
+        assert code == 0
+        assert json.loads(out.read_text())["meta"]["n_simulations"] == 4
+        captured = capsys.readouterr()
+        assert "report written" in captured.out
