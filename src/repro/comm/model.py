@@ -29,6 +29,7 @@ Two model objects wrap this formula for the scheduler and the simulator:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Optional
 
 import numpy as np
 
@@ -49,6 +50,7 @@ def effective_comm_cost(
     distance: int,
     same_processor: bool,
     params: CommParams,
+    weighted_distance: Optional[float] = None,
 ) -> float:
     """Evaluate equation (4) for one message.
 
@@ -63,12 +65,23 @@ def effective_comm_cost(
         processor (the Kronecker delta of the equation).
     params:
         The machine's :class:`~repro.machine.params.CommParams`.
+    weighted_distance:
+        Total link weight along the route, for machines with weighted links
+        — it replaces the hop count in the distance–volume term while the
+        per-hop routing overhead keeps charging ``tau`` per intermediate
+        processor.  ``None`` (the homogeneous default) means the hop count
+        itself, reproducing the original formula exactly.
     """
     check_non_negative("weight", weight)
     if distance < 0:
         raise ValueError(f"distance must be >= 0, got {distance}")
     delta = 1.0 if same_processor else 0.0
-    volume = weight * distance
+    if weighted_distance is None:
+        volume = weight * distance
+    else:
+        if weighted_distance < 0:
+            raise ValueError(f"weighted_distance must be >= 0, got {weighted_distance}")
+        volume = weight * weighted_distance
     routing = (distance - 1 + delta) * params.tau
     setup = (1.0 - delta) * params.sigma
     return volume + routing + setup
@@ -109,12 +122,23 @@ class CommunicationModel(ABC):
 
 
 class LinearCommModel(CommunicationModel):
-    """The paper's equation-4 cost model (distance–volume + routing + setup)."""
+    """The paper's equation-4 cost model (distance–volume + routing + setup).
+
+    On machines with weighted links the volume term accumulates the total
+    link weight along the route (``machine.weighted_distance``) while the
+    routing overhead keeps charging ``tau`` per hop of the same route; on
+    unit-weight machines both quantities coincide and the arithmetic is
+    bit-identical to the original homogeneous model.
+    """
 
     def cost(self, machine, weight: float, src_proc: int, dst_proc: int) -> float:
         same = src_proc == dst_proc
         distance = 0 if same else machine.distance(src_proc, dst_proc)
-        return effective_comm_cost(weight, distance, same, machine.params)
+        if same or getattr(machine, "has_unit_link_weights", True):
+            wdistance = None
+        else:
+            wdistance = machine.weighted_distance(src_proc, dst_proc)
+        return effective_comm_cost(weight, distance, same, machine.params, wdistance)
 
     def cost_row(self, machine, weight: float, src_proc: int, dst_procs) -> np.ndarray:
         # Mirrors effective_comm_cost term by term (same operation order, so
@@ -122,8 +146,12 @@ class LinearCommModel(CommunicationModel):
         check_non_negative("weight", weight)
         procs = np.asarray(dst_procs, dtype=np.intp)
         distances = machine.distances_from(src_proc, procs)
+        if getattr(machine, "has_unit_link_weights", True):
+            wdistances = distances
+        else:
+            wdistances = machine.weighted_distances_from(src_proc, procs)
         delta = (procs == src_proc).astype(np.float64)
-        volume = weight * distances
+        volume = weight * wdistances
         routing = (distances - 1 + delta) * machine.params.tau
         setup = (1.0 - delta) * machine.params.sigma
         return volume + routing + setup
@@ -156,7 +184,10 @@ def comm_cost_table(
     the total equation-4 cost of placing task *i* on ``idle_processors[j]``.
     Rows are accumulated one predecessor at a time, preserving the float
     summation order of the scalar implementation so annealing on the table is
-    bit-for-bit identical to annealing on per-move ``cost()`` calls.
+    bit-for-bit identical to annealing on per-move ``cost()`` calls.  Link
+    weights of heterogeneous machines flow in through the model's
+    ``cost_row`` (which reads the machine's weighted distances), so the same
+    table builder serves homogeneous and weighted machines.
     """
     procs = np.asarray(idle_processors, dtype=np.intp)
     table = np.zeros((len(predecessor_placements), len(procs)), dtype=np.float64)

@@ -47,7 +47,12 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Optional
 
 from repro.comm.model import CommunicationModel, LinearCommModel
-from repro.core.kernel import PacketKernel, compute_balance_range, compute_comm_range
+from repro.core.kernel import (
+    PacketKernel,
+    compute_balance_range,
+    compute_comm_range,
+    idle_processor_speeds,
+)
 from repro.core.packet import AnnealingPacket, PacketMapping
 from repro.exceptions import ConfigurationError
 
@@ -116,11 +121,19 @@ class PacketCostFunction:
                 weight_balance=self.weight_balance,
                 weight_comm=self.weight_comm,
             )
+            self._idle_speeds = self.kernel.speeds
             self._balance_range = self.kernel.balance_range
             self._comm_range = self.kernel.comm_range
         else:
-            self._balance_range = compute_balance_range(packet)
+            self._idle_speeds = idle_processor_speeds(packet, machine)
+            self._balance_range = compute_balance_range(packet, self._idle_speeds)
             self._comm_range = compute_comm_range(packet, machine, self.comm_model)
+        # Per-processor balance scale (the speed factor of eq. 3 generalized
+        # to heterogeneous machines); None means the homogeneous unit scale.
+        if self._idle_speeds is None:
+            self._speed_by_proc: Optional[Dict[ProcId, float]] = None
+        else:
+            self._speed_by_proc = dict(zip(packet.idle_processors, self._idle_speeds))
 
     @property
     def balance_range(self) -> float:
@@ -135,9 +148,25 @@ class PacketCostFunction:
     # ------------------------------------------------------------------ #
     # Raw terms
     # ------------------------------------------------------------------ #
+    def _balance_scale(self, proc: ProcId) -> float:
+        """Speed factor of *proc* in the heterogeneous balance term (1.0 otherwise)."""
+        assert self._speed_by_proc is not None
+        scale = self._speed_by_proc.get(proc)
+        if scale is None:
+            # Processors outside the packet's idle set (legal for hand-built
+            # mappings in tests and analysis code).
+            speed_of = getattr(self.machine, "speed_of", None)
+            scale = speed_of(proc) if speed_of is not None else 1.0
+        return scale
+
     def balance_cost(self, mapping: PacketMapping) -> float:
-        """Equation 3: ``F_b = -sum_i n_i s(i)``."""
-        return -sum(self.packet.levels[t] for t in mapping.task_to_proc)
+        """Equation 3: ``F_b = -sum_i n_i s(i)`` (speed-scaled when heterogeneous)."""
+        if self._speed_by_proc is None:
+            return -sum(self.packet.levels[t] for t in mapping.task_to_proc)
+        return -sum(
+            self.packet.levels[t] * self._balance_scale(p)
+            for t, p in mapping.task_to_proc.items()
+        )
 
     def communication_cost(self, mapping: PacketMapping) -> float:
         """Equation 5: sum of equation-4 costs from placed predecessors to selected tasks."""
@@ -186,13 +215,15 @@ class PacketCostFunction:
         """
         balance_delta = 0.0
         comm_delta = 0.0
+        scaled = self._speed_by_proc is not None
         for task, old_proc, new_proc in changes:
             level = self.packet.levels[task]
             if old_proc is not None:
-                balance_delta += level  # removing -level
+                # removing -level (times the processor's speed when scaled)
+                balance_delta += level * self._balance_scale(old_proc) if scaled else level
                 comm_delta -= self.task_communication_cost(task, old_proc)
             if new_proc is not None:
-                balance_delta -= level
+                balance_delta -= level * self._balance_scale(new_proc) if scaled else level
                 comm_delta += self.task_communication_cost(task, new_proc)
         return (
             self.weight_comm * comm_delta / self._comm_range

@@ -7,10 +7,13 @@ putting ready task ``t_i`` on idle processor ``P_j``.  The kernel exploits
 this: it indexes the packet's ready tasks and idle processors as dense
 integers ``0..n-1`` and precomputes
 
-* ``levels[i]`` — the level ``n_i`` of ready task *i* (eq. 3), and
+* ``levels[i]`` — the level ``n_i`` of ready task *i* (eq. 3),
+* ``balance_rows[i][j]`` — the balance reward ``n_i * speed_j`` of placing
+  ready task *i* on idle processor *j* (on homogeneous machines every entry
+  of row *i* is the level itself, bit for bit), and
 * ``comm_rows[i][j]`` — the total equation-4 cost of placing ready task *i*
-  on idle processor *j*, built vectorized from the machine's distance matrix
-  (:func:`repro.comm.model.comm_cost_table`),
+  on idle processor *j*, built vectorized from the machine's (weighted)
+  distance matrix (:func:`repro.comm.model.comm_cost_table`),
 
 so that ``balance_cost``, ``communication_cost`` and the per-move
 ``incremental_delta`` reduce to O(1) table lookups with zero
@@ -40,6 +43,7 @@ from repro.core.packet import AnnealingPacket, PacketMapping
 
 __all__ = [
     "PacketKernel",
+    "idle_processor_speeds",
     "compute_balance_range",
     "compute_comm_range",
 ]
@@ -48,8 +52,33 @@ TaskId = Hashable
 ProcId = int
 
 
-def compute_balance_range(packet: AnnealingPacket) -> float:
-    """``dF_b = (Max - Min) / N_idle`` (paper §4.2c) with a positive-floor guard."""
+def idle_processor_speeds(packet: AnnealingPacket, machine) -> Optional[List[float]]:
+    """Speed factors of the packet's idle processors, or ``None`` when uniform.
+
+    ``None`` (every speed exactly 1.0, or a machine without a speed model)
+    selects the original homogeneous code paths, which keeps default machines
+    bit-for-bit unchanged.
+    """
+    speed_of = getattr(machine, "speed_of", None)
+    if speed_of is None or getattr(machine, "has_unit_speeds", True):
+        return None
+    speeds = [speed_of(p) for p in packet.idle_processors]
+    if all(s == 1.0 for s in speeds):
+        return None
+    return speeds
+
+
+def compute_balance_range(packet: AnnealingPacket, speeds: Optional[List[float]] = None) -> float:
+    """``dF_b = (Max - Min) / N_idle`` (paper §4.2c) with a positive-floor guard.
+
+    *speeds* (aligned with ``packet.idle_processors``) generalizes the range
+    to heterogeneous machines, where the balance reward of selecting task *i*
+    on processor *j* is ``n_i * speed_j``: the ``Max`` estimate pairs the
+    highest levels with the fastest processors and the ``Min`` estimate the
+    lowest levels with the slowest (reverse-sorted, by the rearrangement
+    inequality).  ``None`` — the homogeneous default — reproduces the paper's
+    original unit-speed formula exactly.
+    """
     n_idle = packet.n_idle
     if n_idle == 0:
         return 1.0
@@ -57,8 +86,14 @@ def compute_balance_range(packet: AnnealingPacket) -> float:
     k = min(n_idle, len(levels))
     if k == 0:
         return 1.0
-    max_sum = sum(levels[:k])
-    min_sum = sum(levels[-k:])
+    if speeds is None:
+        max_sum = sum(levels[:k])
+        min_sum = sum(levels[-k:])
+    else:
+        speeds_desc = sorted(speeds, reverse=True)
+        speeds_asc = speeds_desc[::-1]
+        max_sum = sum(l * s for l, s in zip(levels[:k], speeds_desc[:k]))
+        min_sum = sum(l * s for l, s in zip(levels[-k:], speeds_asc[:k]))
     rng = (max_sum - min_sum) / n_idle
     # When every candidate has the same level the balancing term cannot
     # discriminate; normalize by the common level magnitude instead so the
@@ -74,18 +109,22 @@ def compute_comm_range(packet: AnnealingPacket, machine, comm_model: Communicati
     At most ``min(n_idle, candidates)`` tasks can be selected, so the estimate
     sums that many of the worst per-task costs — explicitly clamped, so a
     degenerate packet with no idle processor keeps the neutral range of 1.0
-    instead of silently summing every candidate.
+    instead of silently summing every candidate.  On weighted machines the
+    worst case pairs the hop diameter (routing overhead) with the weighted
+    diameter (volume); on unit-weight machines both are the same integer and
+    the estimate is unchanged.
     """
     if not comm_model.enabled:
         return 1.0
     diameter = max(machine.diameter, 1)
+    weighted_diameter = max(getattr(machine, "weighted_diameter", diameter), 1)
     totals = []
     for task in packet.ready_tasks:
         preds = packet.predecessor_placement.get(task, ())
         if not preds:
             continue
         worst = sum(
-            effective_comm_cost(w, diameter, False, machine.params)
+            effective_comm_cost(w, diameter, False, machine.params, weighted_diameter)
             for _, _, w in preds
         )
         totals.append(worst)
@@ -125,6 +164,8 @@ class PacketKernel:
         "task_index",
         "proc_index",
         "levels",
+        "speeds",
+        "balance_rows",
         "comm_table",
         "comm_rows",
         "comm_enabled",
@@ -151,6 +192,18 @@ class PacketKernel:
         self.task_index: Dict[TaskId, int] = {t: i for i, t in enumerate(self.tasks)}
         self.proc_index: Dict[ProcId, int] = {p: j for j, p in enumerate(self.procs)}
         self.levels: List[float] = [packet.levels[t] for t in self.tasks]
+        self.speeds: Optional[List[float]] = idle_processor_speeds(packet, machine)
+        # The balance reward of placing ready task i on idle processor j is
+        # level_i * speed_j (eq. 3 generalized to heterogeneous machines);
+        # with unit speeds the product is the level itself, bit for bit.
+        if self.speeds is None:
+            self.balance_rows: List[List[float]] = [
+                [lvl] * self.n_idle for lvl in self.levels
+            ]
+        else:
+            self.balance_rows = [
+                [lvl * s for s in self.speeds] for lvl in self.levels
+            ]
         placements = [
             tuple((pred_proc, w) for _, pred_proc, w in packet.predecessor_placement.get(t, ()))
             for t in self.tasks
@@ -163,7 +216,7 @@ class PacketKernel:
         self.comm_enabled = comm_model.enabled
         self.weight_balance = float(weight_balance)
         self.weight_comm = float(weight_comm)
-        self.balance_range = compute_balance_range(packet)
+        self.balance_range = compute_balance_range(packet, self.speeds)
         self.comm_range = compute_comm_range(packet, machine, comm_model)
 
     # ------------------------------------------------------------------ #
@@ -193,9 +246,9 @@ class PacketKernel:
     # Cost evaluation in index space (the annealing hot path)
     # ------------------------------------------------------------------ #
     def balance_cost(self, mapping: PacketMapping) -> float:
-        """Equation 3 over an index-space mapping."""
-        levels = self.levels
-        return -sum(levels[i] for i in mapping.task_to_proc)
+        """Equation 3 over an index-space mapping (speed-scaled when heterogeneous)."""
+        rows = self.balance_rows
+        return -sum(rows[i][j] for i, j in mapping.task_to_proc.items())
 
     def communication_cost(self, mapping: PacketMapping) -> float:
         """Equation 5 over an index-space mapping: one table lookup per task."""
@@ -215,18 +268,18 @@ class PacketKernel:
 
     def incremental_delta(self, changes) -> float:
         """Normalized cost change of one move's ``(task, old, new)`` index triples."""
-        levels = self.levels
+        brows = self.balance_rows
         rows = self.comm_rows
         balance_delta = 0.0
         comm_delta = 0.0
         for i, old_j, new_j in changes:
-            level = levels[i]
+            brow = brows[i]
             row = rows[i]
             if old_j is not None:
-                balance_delta += level
+                balance_delta += brow[old_j]
                 comm_delta -= row[old_j]
             if new_j is not None:
-                balance_delta -= level
+                balance_delta -= brow[new_j]
                 comm_delta += row[new_j]
         return (
             self.weight_comm * comm_delta / self.comm_range

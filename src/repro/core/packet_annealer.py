@@ -108,7 +108,7 @@ def _anneal_indexed(
     t2p: Dict[int, int] = dict(state0.task_to_proc)
     p2t: Dict[int, int] = dict(state0.proc_to_task)
 
-    levels = kernel.levels
+    brows = kernel.balance_rows
     rows = kernel.comm_rows
     wb, wc = kernel.weight_balance, kernel.weight_comm
     br, cr = kernel.balance_range, kernel.comm_range
@@ -118,7 +118,7 @@ def _anneal_indexed(
 
     def full_cost() -> float:
         # Mirrors PacketKernel.total_cost term for term.
-        fb = -sum(levels[i] for i in t2p)
+        fb = -sum(brows[i][j] for i, j in t2p.items())
         fc = 0.0
         if comm_enabled:
             for i, j in t2p.items():
@@ -162,7 +162,7 @@ def _anneal_indexed(
                     task = tasks[draws.integers(0, len(tasks))]
                     old_j = t2p[task]
                     kind = 1
-                    balance_delta = 0.0 + levels[task]
+                    balance_delta = 0.0 + brows[task][old_j]
                     comm_delta = 0.0 - rows[task][old_j]
                     delta = wc * comm_delta / cr + wb * balance_delta / br
                 else:
@@ -178,35 +178,36 @@ def _anneal_indexed(
                             idx += 1
                         new_j = idx
                     if new_j is not None:
-                        level = levels[task]
+                        brow = brows[task]
                         row = rows[task]
                         occupant = p2t.get(new_j)
                         if occupant is None:
                             kind = 2
                             if cur is not None:
-                                balance_delta = 0.0 + level
+                                balance_delta = 0.0 + brow[cur]
                                 comm_delta = 0.0 - row[cur]
                             else:
                                 balance_delta = 0.0
                                 comm_delta = 0.0
-                            balance_delta -= level
+                            balance_delta -= brow[new_j]
                             comm_delta += row[new_j]
                         elif cur is None:
                             kind = 3
-                            balance_delta = 0.0 + levels[occupant]
+                            balance_delta = 0.0 + brows[occupant][new_j]
                             comm_delta = 0.0 - rows[occupant][new_j]
-                            balance_delta -= level
+                            balance_delta -= brow[new_j]
                             comm_delta += row[new_j]
                         else:
                             kind = 4
-                            balance_delta = 0.0 + level
+                            balance_delta = 0.0 + brow[cur]
                             comm_delta = 0.0 - row[cur]
-                            balance_delta -= level
+                            balance_delta -= brow[new_j]
                             comm_delta += row[new_j]
+                            occ_brow = brows[occupant]
                             occ_row = rows[occupant]
-                            balance_delta += levels[occupant]
+                            balance_delta += occ_brow[new_j]
                             comm_delta -= occ_row[new_j]
-                            balance_delta -= levels[occupant]
+                            balance_delta -= occ_brow[cur]
                             comm_delta += occ_row[cur]
                         delta = wc * comm_delta / cr + wb * balance_delta / br
             # ---- accept: BoltzmannSigmoidAcceptance inlined --------------- #

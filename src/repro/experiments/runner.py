@@ -8,6 +8,9 @@ the same per-experiment functions, so the two entry points always agree.
 a process pool (results are identical for any job count); ``--fidelity``
 selects the simulator model used for Table 2 ("latency" — the default the SA
 cost function assumes — or the contention-aware "contention" model).
+``--hetero`` appends a heterogeneous-machines extension study (speed spreads
+{1x, 2x, 4x} on weighted ring/mesh/hypercube interconnects) that goes beyond
+the paper's identical-processor setup.
 """
 
 from __future__ import annotations
@@ -20,7 +23,31 @@ from repro.experiments.figure2 import run_figure2
 from repro.experiments.table1 import format_table1
 from repro.experiments.table2 import format_table2
 
-__all__ = ["run_all", "main"]
+__all__ = ["run_all", "run_hetero_study", "main"]
+
+
+def run_hetero_study(seed: int = 0, jobs: int = 1, n_seeds: int = 3) -> str:
+    """A small heterogeneous-machines sweep rendered as a report section.
+
+    Runs HLF, ETF and SA over the 9-machine heterogeneous grid (speed spreads
+    × weighted topologies) on *n_seeds* layered random graphs per machine and
+    returns the aggregate table.
+    """
+    from repro.experiments.sweep import HETERO_MACHINES, format_sweep_report, run_sweep
+
+    report = run_sweep(
+        policies=("HLF", "ETF", "SA"),
+        machines=tuple(HETERO_MACHINES),
+        families=("layered",),
+        n_seeds=n_seeds,
+        base_seed=seed,
+        jobs=jobs,
+    )
+    header = (
+        "Extension - heterogeneous machines "
+        "(speed spreads 1x/2x/4x on weighted ring/mesh/hypercube):"
+    )
+    return header + "\n" + format_sweep_report(report)
 
 
 def run_all(
@@ -28,6 +55,7 @@ def run_all(
     programs: Optional[List[str]] = None,
     jobs: int = 1,
     fidelity: str = "latency",
+    hetero: bool = False,
 ) -> str:
     """Regenerate every table and figure and return the combined report text."""
     sections = [
@@ -40,6 +68,8 @@ def run_all(
         "Figure 2 - Gantt chart (detail) of Newton-Euler on the 8-processor hypercube:",
         run_figure2(seed=seed).chart,
     ]
+    if hetero:
+        sections.extend(["", run_hetero_study(seed=seed, jobs=jobs)])
     return "\n".join(sections)
 
 
@@ -64,8 +94,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="latency",
         help="simulator fidelity for Table 2",
     )
+    parser.add_argument(
+        "--hetero",
+        action="store_true",
+        help="append the heterogeneous-machines extension study",
+    )
     args = parser.parse_args(argv)
-    print(run_all(seed=args.seed, programs=args.programs, jobs=args.jobs, fidelity=args.fidelity))
+    print(
+        run_all(
+            seed=args.seed,
+            programs=args.programs,
+            jobs=args.jobs,
+            fidelity=args.fidelity,
+            hetero=args.hetero,
+        )
+    )
     return 0
 
 

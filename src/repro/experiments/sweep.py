@@ -21,6 +21,13 @@ or from the command line::
 
     python -m repro.experiments.sweep --jobs 4 --out sweep_report.json
 
+``--hetero`` switches the machine axis to the heterogeneous scenario family:
+speed spreads {1x, 2x, 4x} (linear ramp of per-processor speed factors) on
+weighted ring/mesh/hypercube interconnects, a 9-machine grid that exercises
+the speed- and link-weight-aware paths of every scheduler::
+
+    python -m repro.experiments.sweep --hetero --jobs 4 --out hetero.json
+
 The module also exposes :func:`parallel_map`, the pool helper the other
 experiment drivers (e.g. Table 2 with ``--jobs``) reuse.
 """
@@ -42,6 +49,7 @@ from repro.machine.machine import Machine
 from repro.schedulers.etf import ETFScheduler
 from repro.schedulers.fifo import FIFOScheduler
 from repro.schedulers.hlf import HLFScheduler
+from repro.schedulers.lpt import LPTScheduler
 from repro.schedulers.random_policy import RandomScheduler
 from repro.sim.engine import simulate
 from repro.taskgraph.generators import layered_random, random_dag
@@ -49,8 +57,11 @@ from repro.utils.tabulate import format_table
 
 __all__ = [
     "MACHINE_BUILDERS",
+    "HETERO_MACHINES",
     "GRAPH_FAMILIES",
     "POLICY_BUILDERS",
+    "speed_ramp",
+    "hetero_machine",
     "build_grid",
     "run_scenario",
     "run_sweep",
@@ -64,6 +75,74 @@ __all__ = [
 # string, so a scenario spec is picklable and self-describing.
 # --------------------------------------------------------------------------- #
 
+
+def speed_ramp(n_processors: int, spread: float) -> Optional[List[float]]:
+    """A linear ramp of speed factors from 1.0 up to *spread*.
+
+    ``spread = 1`` returns ``None`` (the homogeneous default), so a ``1x``
+    scenario is exactly the unit-speed machine.
+    """
+    if spread <= 1.0 or n_processors < 2:
+        return None
+    step = (spread - 1.0) / (n_processors - 1)
+    return [1.0 + step * i for i in range(n_processors)]
+
+
+def _ring_link_weights(n: int) -> Dict[tuple, float]:
+    """Alternating 1.0 / 2.0 transfer multipliers around the ring."""
+    weights = {}
+    for i in range(n):
+        j = (i + 1) % n
+        if i != j:
+            weights[tuple(sorted((i, j)))] = 1.0 if i % 2 == 0 else 2.0
+    return weights
+
+
+def _mesh_link_weights(rows: int, cols: int) -> Dict[tuple, float]:
+    """Row links at weight 1.0, column links at 2.0 (anisotropic mesh)."""
+    weights = {}
+    for r in range(rows):
+        for c in range(cols):
+            pid = r * cols + c
+            if c + 1 < cols:
+                weights[(pid, pid + 1)] = 1.0
+            if r + 1 < rows:
+                weights[(pid, pid + cols)] = 2.0
+    return weights
+
+
+def _hypercube_link_weights(dimension: int) -> Dict[tuple, float]:
+    """Dimension-graded weights: a link along bit *k* costs ``1 + k/2``."""
+    weights = {}
+    for node in range(1 << dimension):
+        for bit in range(dimension):
+            other = node ^ (1 << bit)
+            if node < other:
+                weights[(node, other)] = 1.0 + 0.5 * bit
+    return weights
+
+
+def hetero_machine(kind: str, spread: float) -> Machine:
+    """Build one heterogeneous scenario machine.
+
+    *kind* is ``"ring9"``, ``"mesh16"`` or ``"hypercube8"``; *spread* is the
+    ratio between the fastest and slowest processor (speeds ramp linearly).
+    All three kinds carry non-unit link weights, so even the ``1x`` spread
+    exercises weighted routing.
+    """
+    if kind == "ring9":
+        return Machine.ring(9, speeds=speed_ramp(9, spread), link_weights=_ring_link_weights(9))
+    if kind == "mesh16":
+        return Machine.mesh(
+            4, 4, speeds=speed_ramp(16, spread), link_weights=_mesh_link_weights(4, 4)
+        )
+    if kind == "hypercube8":
+        return Machine.hypercube(
+            3, speeds=speed_ramp(8, spread), link_weights=_hypercube_link_weights(3)
+        )
+    raise KeyError(f"unknown heterogeneous machine kind {kind!r}")
+
+
 MACHINE_BUILDERS: Dict[str, Callable[[], Machine]] = {
     "hypercube8": lambda: Machine.hypercube(3),
     "bus8": lambda: Machine.bus(8),
@@ -71,6 +150,18 @@ MACHINE_BUILDERS: Dict[str, Callable[[], Machine]] = {
     "mesh16": lambda: Machine.mesh(4, 4),
     "full4": lambda: Machine.fully_connected(4),
 }
+
+#: The heterogeneous scenario family: speed spreads {1x, 2x, 4x} on weighted
+#: ring/mesh/hypercube interconnects.
+HETERO_MACHINES: List[str] = []
+for _kind in ("ring9", "mesh16", "hypercube8"):
+    for _spread in (1, 2, 4):
+        _name = f"hetero-{_kind}-{_spread}x"
+        MACHINE_BUILDERS[_name] = (
+            lambda kind=_kind, spread=float(_spread): hetero_machine(kind, spread)
+        )
+        HETERO_MACHINES.append(_name)
+del _kind, _spread, _name
 
 GRAPH_FAMILIES: Dict[str, Callable[[int], "object"]] = {
     "layered": lambda seed: layered_random(
@@ -92,7 +183,9 @@ GRAPH_FAMILIES: Dict[str, Callable[[int], "object"]] = {
 POLICY_BUILDERS: Dict[str, Callable[[int], "object"]] = {
     "HLF": lambda seed: HLFScheduler(seed=seed),
     "HLF/min-comm": lambda seed: HLFScheduler(placement="min_comm"),
+    "HLF/fastest": lambda seed: HLFScheduler(placement="fastest"),
     "ETF": lambda seed: ETFScheduler(),
+    "LPT": lambda seed: LPTScheduler(),
     "FIFO": lambda seed: FIFOScheduler(),
     "Random": lambda seed: RandomScheduler(seed=seed),
     "SA": lambda seed: SAScheduler(SAConfig.paper_defaults(seed=seed)),
@@ -327,8 +420,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=f"policies to run (known: {sorted(POLICY_BUILDERS)})",
     )
     parser.add_argument(
-        "--machines", nargs="*", default=["hypercube8", "ring9"],
-        help=f"machines to run (known: {sorted(MACHINE_BUILDERS)})",
+        "--machines", nargs="*", default=None,
+        help=(
+            f"machines to run (known: {sorted(MACHINE_BUILDERS)}); "
+            "default hypercube8 ring9, or the 9-machine heterogeneous grid "
+            "with --hetero"
+        ),
+    )
+    parser.add_argument(
+        "--hetero", action="store_true",
+        help=(
+            "run the heterogeneous scenario family: speed spreads {1x,2x,4x} "
+            "on weighted ring/mesh/hypercube machines"
+        ),
     )
     parser.add_argument(
         "--families", nargs="*", default=["layered", "dag"],
@@ -346,14 +450,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     comm = {"with": (True,), "without": (False,), "both": (False, True)}[args.comm]
+    if args.hetero and args.machines is not None:
+        parser.error("--hetero selects the heterogeneous machine grid; drop --machines "
+                     "or name hetero-* machines explicitly without --hetero")
+    machines = args.machines
+    if machines is None:
+        machines = list(HETERO_MACHINES) if args.hetero else ["hypercube8", "ring9"]
     try:
-        build_grid(policies=args.policies, machines=args.machines, families=args.families,
+        build_grid(policies=args.policies, machines=machines, families=args.families,
                    n_seeds=1)
     except KeyError as exc:
         parser.error(str(exc.args[0]))
     report = run_sweep(
         policies=args.policies,
-        machines=args.machines,
+        machines=machines,
         families=args.families,
         n_seeds=args.seeds,
         base_seed=args.base_seed,

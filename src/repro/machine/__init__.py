@@ -8,15 +8,24 @@ parameters (:class:`~repro.machine.params.CommParams`) and precomputes the
 hop-distance matrix and shortest routing paths.
 """
 
-from repro.machine.params import CommParams
+from repro.machine.params import CommParams, normalize_link_weights, normalize_speeds
 from repro.machine.topology import Topology
 from repro.machine.machine import Machine
-from repro.machine.routing import all_pairs_hop_distance, shortest_path
+from repro.machine.routing import (
+    all_pairs_hop_distance,
+    all_pairs_weighted_distance,
+    shortest_path,
+    weighted_shortest_path,
+)
 
 __all__ = [
     "CommParams",
     "Topology",
     "Machine",
     "all_pairs_hop_distance",
+    "all_pairs_weighted_distance",
     "shortest_path",
+    "weighted_shortest_path",
+    "normalize_speeds",
+    "normalize_link_weights",
 ]

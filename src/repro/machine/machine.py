@@ -4,20 +4,41 @@ A machine is the paper's host configuration ``HC = {P, L}`` together with the
 message-overhead parameters (``sigma``, ``tau``, bandwidth).  It precomputes
 and caches the hop-distance matrix and, on demand, the shortest routing paths
 used by the contention-aware simulator.
+
+Beyond the paper's identical-processor setup, a machine may be
+*heterogeneous*:
+
+* ``speeds`` assigns each processor a positive speed factor — a task of base
+  duration ``D`` executes in ``D / speed`` there, and
+* ``link_weights`` assigns each link a positive transfer-time multiplier —
+  the volume term of the equation-4 cost accumulates ``sum(link weight)``
+  along the route instead of the hop count, and routes are minimum-weight
+  paths (ties broken by hop count).
+
+Both default to the homogeneous unit vectors, for which every derived
+quantity (distances, routes, costs) is bit-for-bit identical to the original
+homogeneous implementation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import MachineError
-from repro.machine.params import CommParams
-from repro.machine.routing import all_pairs_hop_distance, shortest_path
+from repro.machine.params import CommParams, normalize_link_weights, normalize_speeds
+from repro.machine.routing import (
+    all_pairs_hop_distance,
+    all_pairs_weighted_distance,
+    shortest_path,
+    weighted_shortest_path,
+)
 from repro.machine.topology import Topology
 
 __all__ = ["Machine"]
+
+LinkWeights = Dict[Tuple[int, int], float]
 
 
 class Machine:
@@ -33,6 +54,14 @@ class Machine:
         paper's values (σ = 7 µs, τ = 9 µs, 10 Mbit/s, 40-bit words).
     name:
         Optional display name; defaults to the topology name.
+    speeds:
+        Optional per-processor speed factors (one positive float per
+        processor).  ``None`` (default) means identical unit-speed
+        processors, the paper's setup.
+    link_weights:
+        Optional ``{(i, j): weight}`` per-link transfer-time multipliers for
+        a subset of the links (unmentioned links keep weight 1.0).  ``None``
+        (default) means unit-weight links.
 
     Examples
     --------
@@ -41,6 +70,9 @@ class Machine:
     8
     >>> m.distance(0, 7)   # opposite corners of the 3-cube
     3
+    >>> fast = Machine.ring(4, speeds=[1.0, 2.0, 1.0, 2.0])
+    >>> fast.speed_of(1)
+    2.0
     """
 
     def __init__(
@@ -48,6 +80,8 @@ class Machine:
         topology: Topology,
         params: Optional[CommParams] = None,
         name: Optional[str] = None,
+        speeds: Optional[Sequence[float]] = None,
+        link_weights: Optional[LinkWeights] = None,
     ) -> None:
         if not isinstance(topology, Topology):
             raise MachineError(f"topology must be a Topology, got {type(topology).__name__}")
@@ -58,7 +92,27 @@ class Machine:
         self.topology = topology
         self.params = params if params is not None else CommParams.paper_defaults()
         self.name = name or topology.name
-        self._distance = all_pairs_hop_distance(topology)
+        try:
+            self._speeds = normalize_speeds(speeds, topology.n_processors)
+        except ValueError as exc:
+            raise MachineError(str(exc)) from exc
+        self._unit_speeds = bool(np.all(self._speeds == 1.0))
+        try:
+            self._link_weight_matrix = normalize_link_weights(
+                link_weights, topology.links(), topology.n_processors
+            )
+        except ValueError as exc:
+            raise MachineError(str(exc)) from exc
+        if self._link_weight_matrix is None:
+            # Homogeneous links: the weighted distance matrix *is* the integer
+            # hop matrix, so weighted queries return the exact same values
+            # (and cost formulas the exact same floats) as the original code.
+            self._distance = all_pairs_hop_distance(topology)
+            self._wdistance = self._distance
+        else:
+            wdist, whops = all_pairs_weighted_distance(topology, self._link_weight_matrix)
+            self._distance = whops  # hop counts along the chosen weighted routes
+            self._wdistance = wdist
         self._path_cache: Dict[Tuple[int, int], List[int]] = {}
 
     # ------------------------------------------------------------------ #
@@ -73,8 +127,56 @@ class Machine:
         """Processor identifiers ``0 .. N_p - 1``."""
         return list(range(self.n_processors))
 
+    # ------------------------------------------------------------------ #
+    # Heterogeneity queries
+    # ------------------------------------------------------------------ #
+    @property
+    def speeds(self) -> np.ndarray:
+        """A copy of the per-processor speed vector (all ones when homogeneous)."""
+        return self._speeds.copy()
+
+    def speed_of(self, proc: int) -> float:
+        """The speed factor of processor *proc* (1.0 on homogeneous machines)."""
+        self.topology._check_proc(proc)
+        return float(self._speeds[proc])
+
+    @property
+    def has_unit_speeds(self) -> bool:
+        """True when every processor runs at speed exactly 1.0."""
+        return self._unit_speeds
+
+    @property
+    def has_unit_link_weights(self) -> bool:
+        """True when every link has transfer-time multiplier exactly 1.0."""
+        return self._link_weight_matrix is None
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """True when the machine deviates from unit speeds or unit link weights."""
+        return not (self._unit_speeds and self._link_weight_matrix is None)
+
+    def link_weight(self, i: int, j: int) -> float:
+        """The transfer-time multiplier of the link joining *i* and *j*.
+
+        Raises :class:`MachineError` when the processors are not directly
+        linked.
+        """
+        if not self.topology.has_link(i, j):
+            raise MachineError(f"processors {i} and {j} are not directly linked")
+        if self._link_weight_matrix is None:
+            return 1.0
+        return float(self._link_weight_matrix[i, j])
+
+    # ------------------------------------------------------------------ #
+    # Distances
+    # ------------------------------------------------------------------ #
     def distance(self, i: int, j: int) -> int:
-        """Hop distance ``d(i, j)`` between processors *i* and *j*."""
+        """Hop distance ``d(i, j)`` between processors *i* and *j*.
+
+        On weighted machines this is the hop count of the chosen
+        minimum-weight route (which the routing-overhead term of equation 4
+        charges per intermediate processor).
+        """
         self.topology._check_proc(i)
         self.topology._check_proc(j)
         return int(self._distance[i, j])
@@ -101,16 +203,66 @@ class Machine:
             )
         return self._distance[src, indices]
 
+    def weighted_distance(self, i: int, j: int) -> float:
+        """Total link weight along the route from *i* to *j*.
+
+        Equals :meth:`distance` exactly on unit-weight machines.
+        """
+        self.topology._check_proc(i)
+        self.topology._check_proc(j)
+        return float(self._wdistance[i, j])
+
+    def weighted_distance_matrix(self) -> np.ndarray:
+        """A copy of the full weighted-distance matrix."""
+        return self._wdistance.copy()
+
+    def weighted_distances_from(self, src: int, dsts=None) -> np.ndarray:
+        """Weighted distances from *src* to *dsts* (default: every processor).
+
+        On unit-weight machines this returns the same integer values as
+        :meth:`distances_from`, so downstream float arithmetic is
+        bit-identical to the homogeneous implementation.
+        """
+        self.topology._check_proc(src)
+        if dsts is None:
+            return self._wdistance[src].copy()
+        indices = np.asarray(dsts, dtype=np.intp)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n_processors):
+            raise IndexError(
+                f"processor indices must be in [0, {self.n_processors}), got {dsts!r}"
+            )
+        return self._wdistance[src, indices]
+
     @property
     def diameter(self) -> int:
         """The largest hop distance between any two processors."""
         return int(self._distance.max())
 
+    @property
+    def weighted_diameter(self) -> float:
+        """The largest weighted distance between any two processors.
+
+        Equals :attr:`diameter` (as the same integer value) on unit-weight
+        machines.
+        """
+        if self._link_weight_matrix is None:
+            return self.diameter
+        return float(self._wdistance.max())
+
     def route(self, src: int, dst: int) -> List[int]:
-        """One deterministic shortest processor path from *src* to *dst* (inclusive)."""
+        """One deterministic shortest processor path from *src* to *dst* (inclusive).
+
+        Minimum hop count on unit-weight machines; minimum total link weight
+        (ties broken by hop count) on weighted machines.
+        """
         key = (src, dst)
         if key not in self._path_cache:
-            self._path_cache[key] = shortest_path(self.topology, src, dst)
+            if self._link_weight_matrix is None:
+                self._path_cache[key] = shortest_path(self.topology, src, dst)
+            else:
+                self._path_cache[key] = weighted_shortest_path(
+                    self.topology, self._link_weight_matrix, src, dst
+                )
         return list(self._path_cache[key])
 
     def link_path(self, src: int, dst: int) -> List[Tuple[int, int]]:
@@ -122,27 +274,60 @@ class Machine:
     # Constructors mirroring the paper's architectures
     # ------------------------------------------------------------------ #
     @classmethod
-    def hypercube(cls, dimension: int, params: Optional[CommParams] = None) -> "Machine":
+    def hypercube(
+        cls,
+        dimension: int,
+        params: Optional[CommParams] = None,
+        speeds: Optional[Sequence[float]] = None,
+        link_weights: Optional[LinkWeights] = None,
+    ) -> "Machine":
         """The paper's architecture 1 with ``dimension = 3`` (8 processors)."""
-        return cls(Topology.hypercube(dimension), params)
+        return cls(Topology.hypercube(dimension), params, speeds=speeds, link_weights=link_weights)
 
     @classmethod
-    def bus(cls, n_processors: int, params: Optional[CommParams] = None) -> "Machine":
+    def bus(
+        cls,
+        n_processors: int,
+        params: Optional[CommParams] = None,
+        speeds: Optional[Sequence[float]] = None,
+        link_weights: Optional[LinkWeights] = None,
+    ) -> "Machine":
         """The paper's architecture 2: a bus (star) with *n_processors* nodes."""
-        return cls(Topology.bus(n_processors), params)
+        return cls(Topology.bus(n_processors), params, speeds=speeds, link_weights=link_weights)
 
     @classmethod
-    def ring(cls, n_processors: int, params: Optional[CommParams] = None) -> "Machine":
+    def ring(
+        cls,
+        n_processors: int,
+        params: Optional[CommParams] = None,
+        speeds: Optional[Sequence[float]] = None,
+        link_weights: Optional[LinkWeights] = None,
+    ) -> "Machine":
         """The paper's architecture 3: a ring with *n_processors* nodes (9 in the paper)."""
-        return cls(Topology.ring(n_processors), params)
+        return cls(Topology.ring(n_processors), params, speeds=speeds, link_weights=link_weights)
 
     @classmethod
-    def fully_connected(cls, n_processors: int, params: Optional[CommParams] = None) -> "Machine":
-        return cls(Topology.fully_connected(n_processors), params)
+    def fully_connected(
+        cls,
+        n_processors: int,
+        params: Optional[CommParams] = None,
+        speeds: Optional[Sequence[float]] = None,
+        link_weights: Optional[LinkWeights] = None,
+    ) -> "Machine":
+        return cls(
+            Topology.fully_connected(n_processors), params, speeds=speeds, link_weights=link_weights
+        )
 
     @classmethod
-    def mesh(cls, rows: int, cols: int, params: Optional[CommParams] = None) -> "Machine":
-        return cls(Topology.mesh(rows, cols), params)
+    def mesh(
+        cls,
+        rows: int,
+        cols: int,
+        params: Optional[CommParams] = None,
+        speeds: Optional[Sequence[float]] = None,
+        link_weights: Optional[LinkWeights] = None,
+    ) -> "Machine":
+        return cls(Topology.mesh(rows, cols), params, speeds=speeds, link_weights=link_weights)
 
     @classmethod
     def paper_architectures(cls, params: Optional[CommParams] = None) -> Dict[str, "Machine"]:
@@ -154,4 +339,8 @@ class Machine:
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Machine({self.name!r}, n_processors={self.n_processors}, diameter={self.diameter})"
+        hetero = ", heterogeneous" if self.is_heterogeneous else ""
+        return (
+            f"Machine({self.name!r}, n_processors={self.n_processors}, "
+            f"diameter={self.diameter}{hetero})"
+        )

@@ -14,15 +14,84 @@ For the bit-serial linked hypercube systems of the paper ``O = 3 µs`` and
 ``BW = 10 Mbit/s`` and one variable is 40 bits, so transferring one variable
 over one link takes 4 µs — that is the unit in which the workload generators
 express their edge weights.
+
+The module also normalizes the two *heterogeneity* parameter vectors a
+machine may carry beyond the paper's identical-processor setup:
+
+* ``speeds`` — per-processor speed factors (a task of base duration ``D``
+  executes in ``D / speed`` on that processor), and
+* ``link_weights`` — per-link transfer-time multipliers (the per-link volume
+  term of equation 4 becomes ``w_ij * omega_link`` on a link of weight
+  ``omega_link``).
+
+Both default to the homogeneous unit vectors, under which every downstream
+computation is bit-for-bit identical to the original formulation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.utils.validation import check_non_negative, check_positive
 
-__all__ = ["CommParams"]
+__all__ = ["CommParams", "normalize_speeds", "normalize_link_weights"]
+
+
+def normalize_speeds(speeds: Optional[Sequence[float]], n_processors: int) -> np.ndarray:
+    """Validate and normalize a per-processor speed vector.
+
+    ``None`` means the homogeneous default (all ones).  Every entry must be a
+    finite positive number; the length must match the processor count.
+    Returns a fresh ``float64`` array.
+    """
+    if speeds is None:
+        return np.ones(n_processors, dtype=np.float64)
+    arr = np.asarray([check_positive("speed", s) for s in speeds], dtype=np.float64)
+    if arr.shape != (n_processors,):
+        raise ValueError(
+            f"speeds must have one entry per processor ({n_processors}), got {arr.shape}"
+        )
+    return arr
+
+
+def normalize_link_weights(
+    link_weights: Optional[Dict[Tuple[int, int], float]],
+    links: Sequence[Tuple[int, int]],
+    n_processors: int,
+) -> Optional[np.ndarray]:
+    """Validate a ``{(i, j): weight}`` mapping and expand it to a full matrix.
+
+    Keys are undirected links in either orientation; links not mentioned keep
+    weight 1.0.  Weights must be finite and positive, and every key must name
+    an existing link.  Returns the symmetric ``float64`` weight matrix, or
+    ``None`` for the homogeneous default (``link_weights`` is ``None`` or all
+    weights are exactly 1.0), so callers can keep the unit-weight fast path.
+    """
+    if link_weights is None:
+        return None
+    link_set = {tuple(sorted(l)) for l in links}
+    matrix = np.ones((n_processors, n_processors), dtype=np.float64)
+    seen: Dict[Tuple[int, int], float] = {}
+    non_unit = False
+    for key, weight in link_weights.items():
+        i, j = key
+        pair = tuple(sorted((int(i), int(j))))
+        if pair not in link_set:
+            raise ValueError(f"link_weights key {key!r} is not a link of the topology")
+        w = check_positive(f"link weight {key!r}", weight)
+        if pair in seen and seen[pair] != w:
+            raise ValueError(
+                f"conflicting weights for link {pair}: {seen[pair]!r} and {w!r} "
+                f"(both orientations given)"
+            )
+        seen[pair] = w
+        matrix[pair[0], pair[1]] = matrix[pair[1], pair[0]] = w
+        if w != 1.0:
+            non_unit = True
+    return matrix if non_unit else None
 
 
 @dataclass(frozen=True)

@@ -8,10 +8,18 @@ per-hop routing overhead ``tau`` on intermediate processors).
 This module provides BFS-based all-pairs hop distances (vectorized over
 numpy adjacency matrices) and deterministic shortest-path extraction used by
 the contention-aware simulator to decide which links a message occupies.
+
+For machines with *weighted* links (per-link transfer-time multipliers), the
+Dijkstra-based counterparts minimize the total link weight along the route,
+breaking ties by hop count and then towards lower-numbered processors, so
+routes stay deterministic.  With unit link weights the weighted routines
+reproduce the BFS results exactly, which keeps default (homogeneous) machines
+bit-for-bit unchanged.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Dict, List, Tuple
 
@@ -20,7 +28,14 @@ import numpy as np
 from repro.exceptions import TopologyError
 from repro.machine.topology import Topology
 
-__all__ = ["all_pairs_hop_distance", "shortest_path", "routing_table"]
+__all__ = [
+    "all_pairs_hop_distance",
+    "shortest_path",
+    "routing_table",
+    "all_pairs_weighted_distance",
+    "weighted_dijkstra",
+    "weighted_shortest_path",
+]
 
 _UNREACHABLE = -1
 
@@ -78,6 +93,90 @@ def shortest_path(topology: Topology, src: int, dst: int) -> List[int]:
                     break
                 queue.append(v)
     if dst not in parent:
+        raise TopologyError(
+            f"no path between processors {src} and {dst} in topology {topology.name!r}"
+        )
+    path = [dst]
+    while path[-1] != src:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def weighted_dijkstra(
+    topology: Topology, weights: np.ndarray, src: int
+) -> Tuple[List[float], List[int], List[int]]:
+    """Single-source shortest paths under per-link *weights*.
+
+    Returns ``(dist, hops, parent)`` where ``dist[v]`` is the minimum total
+    link weight from *src* to *v*, ``hops[v]`` the hop count of the chosen
+    path and ``parent[v]`` its predecessor (``-1`` for *src* and unreachable
+    nodes).  Paths are chosen by lexicographic ``(dist, hops)`` minimization
+    with neighbours explored in increasing index order, so the result is
+    deterministic.
+    """
+    n = topology.n_processors
+    if not (0 <= src < n):
+        raise TopologyError(f"processor index out of range: src={src}")
+    inf = float("inf")
+    dist = [inf] * n
+    hops = [n + 1] * n
+    parent = [-1] * n
+    dist[src] = 0.0
+    hops[src] = 0
+    heap: List[Tuple[float, int, int]] = [(0.0, 0, src)]
+    while heap:
+        d, h, u = heapq.heappop(heap)
+        if d > dist[u] or (d == dist[u] and h > hops[u]):
+            continue
+        for v in topology.neighbors(u):
+            nd = d + float(weights[u, v])
+            nh = h + 1
+            if nd < dist[v] or (nd == dist[v] and nh < hops[v]):
+                dist[v], hops[v], parent[v] = nd, nh, u
+                heapq.heappush(heap, (nd, nh, v))
+    for v in range(n):
+        if dist[v] == inf:
+            hops[v] = _UNREACHABLE
+    return dist, hops, parent
+
+
+def all_pairs_weighted_distance(
+    topology: Topology, weights: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All-pairs ``(weighted distance, hop count)`` matrices under *weights*.
+
+    The hop counts are the hop lengths of the chosen minimum-weight routes
+    (minimal hop count among minimum-weight paths), so the pair describes one
+    consistent route per processor pair.  Unreachable pairs get ``inf`` /
+    ``-1``.
+    """
+    n = topology.n_processors
+    wdist = np.zeros((n, n), dtype=np.float64)
+    whops = np.zeros((n, n), dtype=np.int64)
+    for src in range(n):
+        dist, hops, _ = weighted_dijkstra(topology, weights, src)
+        wdist[src] = dist
+        whops[src] = hops
+    return wdist, whops
+
+
+def weighted_shortest_path(
+    topology: Topology, weights: np.ndarray, src: int, dst: int
+) -> List[int]:
+    """One deterministic minimum-weight processor path from *src* to *dst*.
+
+    Ties between equal-weight paths are broken by hop count; the route is the
+    one the contention-aware simulator charges link occupancy on.  Raises
+    :class:`TopologyError` when no path exists.
+    """
+    n = topology.n_processors
+    if not (0 <= src < n) or not (0 <= dst < n):
+        raise TopologyError(f"processor index out of range: src={src}, dst={dst}")
+    if src == dst:
+        return [src]
+    dist, _hops, parent = weighted_dijkstra(topology, weights, src)
+    if dist[dst] == float("inf"):
         raise TopologyError(
             f"no path between processors {src} and {dst} in topology {topology.name!r}"
         )

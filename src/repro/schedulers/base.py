@@ -17,10 +17,23 @@ from typing import Dict, Hashable, List, Mapping, Optional
 from repro.comm.model import CommunicationModel, LinearCommModel
 from repro.exceptions import SchedulingError
 
-__all__ = ["PacketContext", "SchedulingPolicy", "validate_assignment"]
+__all__ = ["PacketContext", "SchedulingPolicy", "validate_assignment", "fastest_first"]
 
 TaskId = Hashable
 ProcId = int
+
+
+def fastest_first(machine, procs) -> List[ProcId]:
+    """Processors sorted by decreasing speed, index order within equal speeds.
+
+    The shared placement order of the speed-aware schedulers (LPT, HLF
+    ``"fastest"``).  On homogeneous machines (or machines without a speed
+    model) every speed ties, so the result is plain increasing index order.
+    """
+    speed_of = getattr(machine, "speed_of", None)
+    if speed_of is None:
+        return sorted(procs)
+    return sorted(procs, key=lambda p: (-speed_of(p), p))
 
 
 @dataclass

@@ -3,10 +3,16 @@
 This baseline approximates the ETF heuristic of Hwang et al.: among all
 (ready task, idle processor) pairs it repeatedly picks the pair whose task
 could *start* earliest, where the start time accounts for the arrival of
-predecessor data under the equation-4 communication cost.  Ties are broken by
-the higher task level.  ETF is a stronger communication-aware greedy baseline
-than HLF and shows how much of the SA gain a deterministic look-ahead already
-captures.
+predecessor data under the equation-4 communication cost.  Ties are broken
+first towards the faster processor (a no-op on homogeneous machines, where
+every speed is 1.0), then by the higher task level.  ETF is a stronger
+communication-aware greedy baseline than HLF and shows how much of the SA
+gain a deterministic look-ahead already captures.
+
+On heterogeneous machines the communication cost already reflects weighted
+links (through the machine's weighted distances), and the speed tie-break
+steers equal-earliest-start candidates onto fast processors, which is where
+ETF-style earliest-start heuristics recover most of the heterogeneity gain.
 """
 
 from __future__ import annotations
@@ -22,7 +28,14 @@ ProcId = int
 
 
 class ETFScheduler(SchedulingPolicy):
-    """Greedy earliest-start-time scheduling over the current packet."""
+    """Greedy earliest-start-time scheduling over the current packet.
+
+    The selection key is ``(earliest start, -processor speed, -task level,
+    tie indices)``: equal earliest starts prefer the faster processor, then
+    the higher level.  On homogeneous machines every speed is 1.0, so the
+    ordering reduces exactly to the classical earliest-start / higher-level
+    rule.
+    """
 
     name = "ETF"
 
@@ -47,14 +60,16 @@ class ETFScheduler(SchedulingPolicy):
             return {}
         remaining_tasks: List[TaskId] = list(ctx.ready_tasks)
         remaining_procs: List[ProcId] = list(ctx.idle_processors)
+        speed_of = getattr(ctx.machine, "speed_of", None)
         assignment: Dict[TaskId, ProcId] = {}
         while remaining_tasks and remaining_procs:
-            best: Tuple[float, float, int, int] | None = None
+            best: Tuple[float, float, float, int, int] | None = None
             best_pair: Tuple[TaskId, ProcId] | None = None
             for ti, task in enumerate(remaining_tasks):
                 for pi, proc in enumerate(remaining_procs):
                     est = self._earliest_start(ctx, task, proc)
-                    key = (est, -ctx.levels[task], ti, pi)
+                    speed = speed_of(proc) if speed_of is not None else 1.0
+                    key = (est, -speed, -ctx.levels[task], ti, pi)
                     if best is None or key < best:
                         best = key
                         best_pair = (task, proc)

@@ -23,7 +23,12 @@ Three placement variants are provided:
 * ``placement="min_comm"``: a communication-aware refinement that greedily
   places each selected task on the idle processor minimizing the equation-4
   cost to its predecessors — shows how much of SA's gain a simple greedy fix
-  recovers (ablation).
+  recovers (ablation).  Cost ties are broken towards the faster processor (a
+  no-op on homogeneous machines).
+* ``placement="fastest"``: a heterogeneity-aware variant that places the
+  highest-level selected tasks on the fastest idle processors (speed ties
+  broken by processor index).  On homogeneous machines this degenerates to
+  ``"index"``.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, List
 
 from repro.exceptions import ConfigurationError
-from repro.schedulers.base import PacketContext, SchedulingPolicy
+from repro.schedulers.base import PacketContext, SchedulingPolicy, fastest_first
 from repro.utils.rng import SeedLike, as_rng
 
 __all__ = ["HLFScheduler"]
@@ -39,7 +44,7 @@ __all__ = ["HLFScheduler"]
 TaskId = Hashable
 ProcId = int
 
-_PLACEMENTS = ("arbitrary", "index", "min_comm")
+_PLACEMENTS = ("arbitrary", "index", "min_comm", "fastest")
 
 
 class HLFScheduler(SchedulingPolicy):
@@ -50,7 +55,8 @@ class HLFScheduler(SchedulingPolicy):
     placement:
         ``"arbitrary"`` (default) — random placement on the idle processors;
         ``"index"`` — fill idle processors in index order;
-        ``"min_comm"`` — greedy communication-aware placement.
+        ``"min_comm"`` — greedy communication-aware placement;
+        ``"fastest"`` — highest-level tasks on the fastest idle processors.
     seed:
         Seed for the arbitrary placement (ignored by the other variants).
     """
@@ -67,6 +73,8 @@ class HLFScheduler(SchedulingPolicy):
             self.name = "HLF"
         elif placement == "index":
             self.name = "HLF/index"
+        elif placement == "fastest":
+            self.name = "HLF/fastest"
         else:
             self.name = "HLF/min-comm"
 
@@ -88,6 +96,8 @@ class HLFScheduler(SchedulingPolicy):
         selected = self._select_tasks(ctx)
         if self.placement == "index":
             return dict(zip(selected, ctx.idle_processors))
+        if self.placement == "fastest":
+            return dict(zip(selected, fastest_first(ctx.machine, ctx.idle_processors)))
         if self.placement == "arbitrary":
             procs = list(ctx.idle_processors)
             order = self._rng.permutation(len(procs))
@@ -96,13 +106,20 @@ class HLFScheduler(SchedulingPolicy):
         return self._assign_min_comm(ctx, selected)
 
     def _assign_min_comm(self, ctx: PacketContext, selected: List[TaskId]) -> Dict[TaskId, ProcId]:
-        """Greedy communication-aware placement of the already-selected tasks."""
+        """Greedy communication-aware placement of the already-selected tasks.
+
+        Cost ties go to the faster processor — inert on homogeneous machines
+        (every speed is 1.0, so the first minimal-cost processor wins as
+        before).
+        """
+        speed_of = getattr(ctx.machine, "speed_of", None)
         assignment: Dict[TaskId, ProcId] = {}
         free = list(ctx.idle_processors)
         for task in selected:
             preds = ctx.graph.predecessors(task)
             best_proc = free[0]
             best_cost = float("inf")
+            best_speed = 0.0
             for proc in free:
                 cost = 0.0
                 for pred in preds:
@@ -112,9 +129,11 @@ class HLFScheduler(SchedulingPolicy):
                     cost += ctx.comm_model.cost(
                         ctx.machine, ctx.graph.comm(pred, task), src, proc
                     )
-                if cost < best_cost:
+                speed = speed_of(proc) if speed_of is not None else 1.0
+                if cost < best_cost or (cost == best_cost and speed > best_speed):
                     best_cost = cost
                     best_proc = proc
+                    best_speed = speed
             assignment[task] = best_proc
             free.remove(best_proc)
         return assignment

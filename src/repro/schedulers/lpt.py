@@ -4,13 +4,18 @@ A classical machine-scheduling heuristic: among the ready tasks the ones with
 the longest durations are assigned first.  For DAGs this is generally weaker
 than level-based priorities (it ignores the downstream work a task unlocks)
 and serves as another baseline point in the random-graph benchmark.
+
+On heterogeneous machines the longest tasks go to the fastest idle
+processors (the classical LPT rule for uniform machines, ``Q || C_max``);
+with unit speeds the speed sort is inert and the placement is plain index
+order, as before.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable
 
-from repro.schedulers.base import PacketContext, SchedulingPolicy
+from repro.schedulers.base import PacketContext, SchedulingPolicy, fastest_first
 
 __all__ = ["LPTScheduler"]
 
@@ -19,7 +24,11 @@ ProcId = int
 
 
 class LPTScheduler(SchedulingPolicy):
-    """Assign the longest ready tasks to idle processors (index order placement)."""
+    """Assign the longest ready tasks to the fastest idle processors.
+
+    Speed ties (every processor, on homogeneous machines) keep increasing
+    index order, so the classical behaviour is unchanged there.
+    """
 
     name = "LPT"
 
@@ -31,4 +40,4 @@ class LPTScheduler(SchedulingPolicy):
             key=lambda t: (-ctx.graph.duration(t), ctx.ready_tasks.index(t)),
         )
         selected = order[: ctx.n_idle]
-        return dict(zip(selected, ctx.idle_processors))
+        return dict(zip(selected, fastest_first(ctx.machine, ctx.idle_processors)))

@@ -26,6 +26,13 @@ set small (task completions only) and the runs fast and deterministic.  The
 ready set is maintained incrementally — a task is inserted when its
 unfinished-predecessor count decrements to zero and removed when it is
 assigned — so an epoch costs O(ready) rather than O(all tasks).
+
+Heterogeneous machines are charged consistently in both fidelities: a task
+of base duration ``D`` runs for ``D / speed`` on a processor of speed factor
+``speed``, latency messages pay the weighted-distance volume through the
+communication model, and contention messages occupy each link for ``w_ij *
+link_weight``.  With the default unit speeds and weights every charge is
+bit-for-bit identical to the homogeneous engine.
 """
 
 from __future__ import annotations
@@ -131,6 +138,9 @@ class Simulator:
         proc_occupant: Dict[ProcId, Optional[TaskId]] = {p: None for p in all_procs}
         proc_task_free: Dict[ProcId, float] = {p: 0.0 for p in all_procs}
         proc_comm_free: Dict[ProcId, float] = {p: 0.0 for p in all_procs}
+        # Per-processor speed factors (all exactly 1.0 on homogeneous
+        # machines, where the division below is an exact no-op).
+        proc_speed: Dict[ProcId, float] = {p: machine.speed_of(p) for p in all_procs}
         link_free: Dict[Tuple[int, int], float] = {}
         trace = ExecutionTrace()
         events = EventQueue()
@@ -182,11 +192,12 @@ class Simulator:
             proc_comm_free[src] = max(proc_comm_free[src], send_start + sigma)
             at_node = send_start + sigma
             hop_intervals: List[Tuple[float, float]] = []
+            unit_links = machine.has_unit_link_weights
             for k in range(len(route) - 1):
                 a, b = route[k], route[k + 1]
                 link = (a, b) if a < b else (b, a)
                 hop_start = max(at_node, link_free.get(link, 0.0))
-                hop_end = hop_start + weight
+                hop_end = hop_start + (weight if unit_links else weight * machine.link_weight(a, b))
                 link_free[link] = hop_end
                 hop_intervals.append((hop_start, hop_end))
                 at_node = hop_end
@@ -233,7 +244,7 @@ class Simulator:
                 if arrival > data_ready:
                     data_ready = arrival
             start = max(now, data_ready, proc_comm_free[proc], proc_task_free[proc])
-            finish = start + graph.duration(task)
+            finish = start + graph.duration(task) / proc_speed[proc]
             proc_task_free[proc] = finish
             if self.record_trace:
                 trace.task_records.append(

@@ -97,3 +97,34 @@ class SimulationResult:
             f"makespan={self.makespan:.2f}, speedup={self.speedup():.2f}, "
             f"efficiency={self.efficiency():.2%}"
         )
+
+    def fingerprint(self) -> Dict[str, object]:
+        """A JSON-serializable, bit-exact summary of the run.
+
+        Captures the makespan, the packet count, the message count and —
+        when a trace was recorded — every task's ``[processor, start,
+        finish]`` triple.  Floats survive a JSON round-trip exactly (Python
+        serializes the shortest representation that parses back to the same
+        double), so golden-trace regression tests can compare fingerprints
+        with ``==`` and detect any behavioural drift, however small.
+        """
+        if self.trace is not None:
+            tasks = {
+                str(rec.task): [int(rec.processor), rec.start_time, rec.finish_time]
+                for rec in sorted(self.trace.task_records, key=lambda r: str(r.task))
+            }
+            n_messages = len(self.trace.message_records)
+        else:
+            tasks = {
+                str(task): [int(proc)]
+                for task, proc in sorted(
+                    self.task_processor.items(), key=lambda kv: str(kv[0])
+                )
+            }
+            n_messages = None
+        return {
+            "makespan": self.makespan,
+            "n_packets": self.n_packets,
+            "n_messages": n_messages,
+            "tasks": tasks,
+        }

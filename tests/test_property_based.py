@@ -118,6 +118,110 @@ class TestSASchedulerProperties:
 
 
 @st.composite
+def hetero_machines(draw):
+    """Machines with per-seed random speeds and link weights (or unit ones)."""
+    kind = draw(st.sampled_from(["ring", "hypercube", "mesh", "full"]))
+    seed = draw(st.integers(0, 10_000))
+    heterogeneous = draw(st.booleans())
+    if kind == "ring":
+        topology = Machine.ring(7).topology
+        build = lambda **kw: Machine.ring(7, **kw)
+    elif kind == "hypercube":
+        topology = Machine.hypercube(3).topology
+        build = lambda **kw: Machine.hypercube(3, **kw)
+    elif kind == "mesh":
+        topology = Machine.mesh(2, 3).topology
+        build = lambda **kw: Machine.mesh(2, 3, **kw)
+    else:
+        topology = Machine.fully_connected(4).topology
+        build = lambda **kw: Machine.fully_connected(4, **kw)
+    if not heterogeneous:
+        return build()
+    rng = np.random.default_rng(seed)
+    speeds = rng.uniform(0.5, 4.0, topology.n_processors).tolist()
+    link_weights = {
+        tuple(sorted(l)): float(rng.uniform(0.5, 3.0)) for l in topology.links()
+    }
+    return build(speeds=speeds, link_weights=link_weights)
+
+
+class TestSimulatorInvariants:
+    """Structural invariants of every recorded schedule, both fidelities,
+    homogeneous and heterogeneous machines."""
+
+    @given(
+        graph=random_graphs(),
+        machine=hetero_machines(),
+        fidelity=st.sampled_from(["latency", "contention"]),
+        policy_factory=policies,
+    )
+    @_SETTINGS
+    def test_no_two_tasks_overlap_on_a_processor(
+        self, graph, machine, fidelity, policy_factory
+    ):
+        result = simulate(graph, machine, policy_factory(),
+                          comm_model=LinearCommModel(), fidelity=fidelity)
+        by_proc = {}
+        for rec in result.trace.task_records:
+            by_proc.setdefault(rec.processor, []).append(rec)
+        for recs in by_proc.values():
+            recs.sort(key=lambda r: r.start_time)
+            for a, b in zip(recs, recs[1:]):
+                assert b.start_time >= a.finish_time - 1e-9
+
+    @given(
+        graph=random_graphs(),
+        machine=hetero_machines(),
+        fidelity=st.sampled_from(["latency", "contention"]),
+        policy_factory=policies,
+    )
+    @_SETTINGS
+    def test_tasks_start_after_all_predecessor_data_arrives(
+        self, graph, machine, fidelity, policy_factory
+    ):
+        result = simulate(graph, machine, policy_factory(),
+                          comm_model=LinearCommModel(), fidelity=fidelity)
+        trace = result.trace
+        start = {r.task: r.start_time for r in trace.task_records}
+        finish = {r.task: r.finish_time for r in trace.task_records}
+        proc = {r.task: r.processor for r in trace.task_records}
+        arrival = {(m.src_task, m.dst_task): m.arrival_time for m in trace.message_records}
+        for u, v, _w in graph.edges():
+            if proc[u] == proc[v]:
+                assert start[v] >= finish[u] - 1e-9
+            else:
+                assert start[v] >= arrival[(u, v)] - 1e-9
+
+    @given(
+        graph=random_graphs(),
+        machine=hetero_machines(),
+        fidelity=st.sampled_from(["latency", "contention"]),
+        policy_factory=policies,
+    )
+    @_SETTINGS
+    def test_makespan_is_max_finish_and_durations_speed_scaled(
+        self, graph, machine, fidelity, policy_factory
+    ):
+        result = simulate(graph, machine, policy_factory(),
+                          comm_model=LinearCommModel(), fidelity=fidelity)
+        records = result.trace.task_records
+        assert len(records) == graph.n_tasks
+        if records:
+            assert result.makespan == max(r.finish_time for r in records)
+        for rec in records:
+            expected = graph.duration(rec.task) / machine.speed_of(rec.processor)
+            assert rec.finish_time - rec.start_time == pytest.approx(expected)
+
+    @given(graph=random_graphs(), machine=hetero_machines(), seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_sa_scheduler_valid_on_hetero_machines(self, graph, machine, seed):
+        config = SAConfig(seed=seed, max_temperature_steps=10)
+        result = simulate(graph, machine, SAScheduler(config), comm_model=LinearCommModel())
+        assert len(result.task_processor) == graph.n_tasks
+        result.trace.validate(graph)
+
+
+@st.composite
 def random_packets(draw):
     n_tasks = draw(st.integers(1, 8))
     n_procs = draw(st.integers(1, 6))

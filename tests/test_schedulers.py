@@ -149,6 +149,64 @@ class TestOtherBaselines:
         assert ETFScheduler().assign(make_ctx(priority_graph, hypercube8, [], [])) == {}
 
 
+class TestETFTieBreaking:
+    """The docstring's tie rules, pinned: equal earliest start -> faster
+    processor first, then the higher task level."""
+
+    def test_equal_earliest_start_higher_level_wins(self, priority_graph, hypercube8):
+        # All three roots are ready at t=0 with no predecessors, so every
+        # (task, processor) pair has the same earliest start; only one
+        # processor is idle, and the higher-level task must claim it.
+        levels = priority_graph.levels()
+        assert levels["high"] > levels["mid"] > levels["low"]
+        ctx = make_ctx(priority_graph, hypercube8, ["low", "mid", "high"], [3])
+        assignment = ETFScheduler().assign(ctx)
+        assert assignment == {"high": 3}
+
+    def test_equal_start_and_level_falls_back_to_packet_order(self, hypercube8):
+        g = TaskGraph("twins")
+        g.add_task("a", 2.0)
+        g.add_task("b", 2.0)  # identical level, identical earliest start
+        ctx = make_ctx(g, hypercube8, ["a", "b"], [5])
+        assert ETFScheduler().assign(ctx) == {"a": 5}
+
+    def test_level_beats_packet_order(self, priority_graph, hypercube8):
+        # 'mid' precedes 'high' in the ready list, but 'high' has the higher
+        # level and must win the single processor.
+        ctx = make_ctx(priority_graph, hypercube8, ["mid", "high"], [0])
+        assert ETFScheduler().assign(ctx) == {"high": 0}
+
+    def test_equal_earliest_start_prefers_faster_processor(self, priority_graph):
+        machine = Machine.fully_connected(3, speeds=[1.0, 1.0, 2.5])
+        ctx = make_ctx(priority_graph, machine, ["high"], [0, 1, 2])
+        assert ETFScheduler().assign(ctx) == {"high": 2}
+
+    def test_speed_tie_break_is_inert_on_homogeneous_machines(self, priority_graph):
+        default = Machine.fully_connected(3)
+        explicit = Machine.fully_connected(3, speeds=[1.0, 1.0, 1.0])
+        ctx_a = make_ctx(priority_graph, default, ["low", "mid", "high"], [0, 1, 2])
+        ctx_b = make_ctx(priority_graph, explicit, ["low", "mid", "high"], [0, 1, 2])
+        assert ETFScheduler().assign(ctx_a) == ETFScheduler().assign(ctx_b)
+
+    def test_earlier_start_beats_level_and_speed(self, hypercube8):
+        # 'far' is high-level but its predecessor data arrives late; the
+        # low-level task that can start immediately goes first.
+        g = TaskGraph("g")
+        g.add_task("p", 1.0)
+        g.add_task("far", 1.0)
+        g.add_task("near", 1.0)
+        g.add_task("tail", 20.0)
+        g.add_dependency("p", "far", 50.0)
+        g.add_dependency("far", "tail", 1.0)
+        ctx = make_ctx(
+            g, hypercube8, ["far", "near"], [7],
+            placed={"p": 0}, finish={"p": 1.0}, time=1.0,
+        )
+        levels = g.levels()
+        assert levels["far"] > levels["near"]
+        assert ETFScheduler().assign(ctx) == {"near": 7}
+
+
 class TestPoliciesEndToEnd:
     """Every baseline must produce a complete, valid schedule on random DAGs."""
 

@@ -8,14 +8,17 @@ import pytest
 
 from repro.experiments.sweep import (
     GRAPH_FAMILIES,
+    HETERO_MACHINES,
     MACHINE_BUILDERS,
     POLICY_BUILDERS,
     build_grid,
     format_sweep_report,
+    hetero_machine,
     main,
     parallel_map,
     run_scenario,
     run_sweep,
+    speed_ramp,
 )
 
 
@@ -128,7 +131,71 @@ class TestParallelMap:
         assert rows == []
 
 
+class TestHeteroScenarios:
+    def test_speed_ramp_spans_spread(self):
+        ramp = speed_ramp(9, 4.0)
+        assert ramp[0] == 1.0
+        assert ramp[-1] == pytest.approx(4.0)
+        assert ramp == sorted(ramp)
+
+    def test_speed_ramp_unit_spread_is_homogeneous(self):
+        assert speed_ramp(9, 1.0) is None
+
+    def test_hetero_registry_has_nine_machines(self):
+        assert len(HETERO_MACHINES) == 9
+        for name in HETERO_MACHINES:
+            machine = MACHINE_BUILDERS[name]()
+            assert machine.is_heterogeneous  # all carry weighted links
+            assert not machine.has_unit_link_weights
+
+    def test_hetero_spreads_set_speeds(self):
+        assert hetero_machine("ring9", 1.0).has_unit_speeds
+        m = hetero_machine("ring9", 4.0)
+        assert not m.has_unit_speeds
+        assert max(m.speeds) / min(m.speeds) == pytest.approx(4.0)
+        with pytest.raises(KeyError):
+            hetero_machine("bogus", 2.0)
+
+    def test_hetero_grid_covers_54_cells(self):
+        grid = build_grid(policies=("HLF", "ETF", "SA"), machines=HETERO_MACHINES,
+                          families=("layered", "dag"), n_seeds=1)
+        cells = {(g["policy"], g["machine"], g["family"]) for g in grid}
+        assert len(cells) == 54
+
+    def test_hetero_scenario_runs(self):
+        spec = {
+            "policy": "HLF",
+            "machine": "hetero-ring9-4x",
+            "family": "layered",
+            "graph_seed": 0,
+            "policy_seed": 0,
+            "with_comm": True,
+            "fidelity": "latency",
+        }
+        row = run_scenario(spec)
+        assert row["error"] is None
+        assert row["makespan"] > 0
+
+
 class TestCli:
+    def test_hetero_flag_selects_hetero_grid(self, tmp_path, capsys):
+        out = tmp_path / "hetero.json"
+        code = main([
+            "--hetero", "--jobs", "2", "--seeds", "1",
+            "--policies", "HLF",
+            "--families", "layered",
+            "--out", str(out),
+        ])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["meta"]["machines"] == HETERO_MACHINES
+        assert report["meta"]["n_simulations"] == 9
+        assert report["meta"]["n_failed"] == 0
+
+    def test_hetero_conflicts_with_explicit_machines(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--hetero", "--machines", "hypercube8"])
+
     def test_main_writes_report(self, tmp_path, capsys):
         out = tmp_path / "cli_report.json"
         code = main([
