@@ -1,0 +1,216 @@
+"""Benchmark: the compiled fast engine vs the reference object engine.
+
+The end-to-end benchmark times the 200-task random-graph list-scheduler
+sweep (HLF, ETF, LPT over three graph seeds on the hypercube and ring
+machines) through both engines, asserts the results are **identical** (the
+fast engine's contract) and the speedup is at least the loose CI floor
+(≥ 2×; typical measurements are 4–6×).  A kernel micro-benchmark times one
+ETF assignment epoch through the object path and the index-space kernel.
+
+Measured numbers are persisted to ``BENCH_engine.json`` at the repository
+root — the performance trajectory future engine changes regress against —
+and rendered to ``benchmarks/results/engine_speedup.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.comm.model import LinearCommModel
+from repro.machine.machine import Machine
+from repro.schedulers.base import PacketContext
+from repro.schedulers.etf import ETFScheduler
+from repro.schedulers.hlf import HLFScheduler
+from repro.schedulers.lpt import LPTScheduler
+from repro.sim.compile import FastPacket, compile_scenario
+from repro.sim.engine import simulate
+from repro.taskgraph.generators import layered_random, random_dag
+
+REPO_ROOT = Path(__file__).parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
+
+#: Loose CI floor for the end-to-end sweep speedup (noisy shared runners);
+#: local measurements are recorded in BENCH_engine.json.
+MIN_SPEEDUP = 2.0
+
+_POLICIES = {
+    "HLF": lambda: HLFScheduler(seed=0),
+    "ETF": lambda: ETFScheduler(),
+    "LPT": lambda: LPTScheduler(),
+}
+
+
+def _sweep_graphs():
+    return [
+        random_dag(200, edge_probability=0.08, mean_duration=15.0, mean_comm=5.0, seed=s)
+        for s in range(3)
+    ]
+
+
+def _time_sweep(graphs, machines, fast, repeats: int = 2):
+    """Wall-clock one engine over the whole (policy × machine × graph) sweep."""
+    per_policy = {}
+    results = {}
+    for name, factory in _POLICIES.items():
+        start = time.perf_counter()
+        for _ in range(repeats):
+            for mi, machine in enumerate(machines):
+                for gi, graph in enumerate(graphs):
+                    result = simulate(
+                        graph, machine, factory(), comm_model=LinearCommModel(),
+                        record_trace=False, fast=fast,
+                    )
+                    results[(name, mi, gi)] = (result.makespan, result.n_packets)
+        n_runs = repeats * len(machines) * len(graphs)
+        per_policy[name] = (time.perf_counter() - start) / n_runs
+    return per_policy, results
+
+
+def _etf_epoch_fixture():
+    """One communication-heavy ETF epoch, as context and as packet.
+
+    Layer 0 of a two-layer graph is placed and finished; all of layer 1 is
+    ready on a machine with three busy processors.
+    """
+    graph = layered_random(
+        n_layers=2, width=60, edge_probability=0.3,
+        mean_duration=20.0, mean_comm=8.0, seed=7,
+    )
+    machine = Machine.hypercube(3)
+    comm = LinearCommModel()
+    levels = graph.levels()
+    scenario = compile_scenario(graph, machine, comm, levels=levels)
+    layer0 = [t for t in graph.tasks if graph.in_degree(t) == 0]
+    ready_ids = [t for t in graph.tasks if t not in set(layer0)]
+    placed = {t: i % machine.n_processors for i, t in enumerate(layer0)}
+    finish = {t: 10.0 + 0.5 * i for i, t in enumerate(layer0)}
+    idle = list(range(machine.n_processors - 3))
+    ctx = PacketContext(
+        time=40.0,
+        ready_tasks=ready_ids,
+        idle_processors=idle,
+        graph=graph,
+        machine=machine,
+        levels=levels,
+        task_processor=placed,
+        finish_times=finish,
+        comm_model=comm,
+    )
+    assigned = np.full(scenario.n_tasks, -1, dtype=np.intp)
+    fins = np.zeros(scenario.n_tasks, dtype=np.float64)
+    for t, p in placed.items():
+        assigned[scenario.index_of[t]] = p
+        fins[scenario.index_of[t]] = finish[t]
+    packet = FastPacket(
+        time=40.0,
+        ready=[scenario.index_of[t] for t in ready_ids],
+        idle=idle,
+        scenario=scenario,
+        assigned_proc=assigned,
+        finish_times=fins,
+        proc_ready_time=np.zeros(machine.n_processors),
+    )
+    return scenario, ctx, packet
+
+
+def _time_epoch(fn, repeats=50):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_sweep_speedup(benchmark, save_artifact):
+    machines = [Machine.hypercube(3), Machine.ring(9)]
+    graphs = _sweep_graphs()
+
+    # Warm-up + equivalence proof: identical numbers from both engines.
+    object_ms, object_results = _time_sweep(graphs, machines, fast=False, repeats=1)
+    fast_ms, fast_results = _time_sweep(graphs, machines, fast=None, repeats=1)
+    assert object_results == fast_results, "fast engine diverged from the reference"
+
+    # Timed passes.
+    object_ms, _ = _time_sweep(graphs, machines, fast=False)
+    fast_ms, _ = _time_sweep(graphs, machines, fast=None)
+    total_object = sum(object_ms.values())
+    total_fast = sum(fast_ms.values())
+    speedup = total_object / total_fast
+
+    # Kernel micro-benchmark: one ETF epoch, object path vs index kernel.
+    scenario, ctx, packet = _etf_epoch_fixture()
+    etf = ETFScheduler()
+    etf.reset()
+    object_assignment = etf.assign(ctx)
+    etf.reset()
+    fast_assignment = etf.fast_assign(packet)
+    assert object_assignment == {
+        scenario.task_ids[t]: p for t, p in fast_assignment.items()
+    }, "ETF kernel diverged from the object path"
+    epoch_object_s = _time_epoch(lambda: etf.assign(ctx))
+    def _fresh_fast():
+        etf.reset()  # epoch cache off, measure the cold kernel
+        etf.fast_assign(packet)
+    epoch_fast_s = _time_epoch(_fresh_fast)
+
+    payload = {
+        "benchmark": "bench_engine",
+        "scenario": {
+            "sweep": "200-task random DAGs (3 seeds) x {HLF, ETF, LPT} x "
+                     "{hypercube8, ring9}, latency fidelity, eq-4 comm",
+            "kernel": "one ETF epoch: 60 ready tasks x 5 idle processors, "
+                      "layer-0 predecessors placed",
+        },
+        "per_policy_ms": {
+            name: {
+                "object": round(object_ms[name] * 1e3, 3),
+                "fast": round(fast_ms[name] * 1e3, 3),
+                "speedup": round(object_ms[name] / fast_ms[name], 2),
+            }
+            for name in _POLICIES
+        },
+        "sweep_speedup": round(speedup, 2),
+        "etf_epoch_us": {
+            "object": round(epoch_object_s * 1e6, 1),
+            "fast": round(epoch_fast_s * 1e6, 1),
+            "speedup": round(epoch_object_s / epoch_fast_s, 2),
+        },
+        "min_speedup_asserted": MIN_SPEEDUP,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=1) + "\n")
+
+    lines = [
+        "Engine benchmark: compiled fast engine vs reference object engine",
+        payload["scenario"]["sweep"],
+        "",
+        f"{'policy':<8} {'object':>10} {'fast':>10} {'speedup':>9}",
+    ]
+    for name in _POLICIES:
+        row = payload["per_policy_ms"][name]
+        lines.append(
+            f"{name:<8} {row['object']:>8.2f}ms {row['fast']:>8.2f}ms {row['speedup']:>8.2f}x"
+        )
+    lines += [
+        f"{'total':<8} {sum(v['object'] for v in payload['per_policy_ms'].values()):>8.2f}ms "
+        f"{sum(v['fast'] for v in payload['per_policy_ms'].values()):>8.2f}ms "
+        f"{payload['sweep_speedup']:>8.2f}x",
+        "",
+        f"ETF epoch kernel: {payload['etf_epoch_us']['object']:.0f}us -> "
+        f"{payload['etf_epoch_us']['fast']:.0f}us "
+        f"({payload['etf_epoch_us']['speedup']:.2f}x)",
+    ]
+    save_artifact("engine_speedup", "\n".join(lines))
+    print("\n".join(lines))
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast engine only {speedup:.2f}x faster than the object engine "
+        f"(floor {MIN_SPEEDUP}x); see BENCH_engine.json"
+    )
+
+    # pytest-benchmark timing: the fast-engine sweep core (one repetition).
+    benchmark(lambda: _time_sweep(graphs, machines, fast=None, repeats=1))

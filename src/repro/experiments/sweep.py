@@ -178,6 +178,11 @@ GRAPH_FAMILIES: Dict[str, Callable[[int], "object"]] = {
     "dag-dense": lambda seed: random_dag(
         60, edge_probability=0.35, mean_duration=15.0, mean_comm=8.0, seed=seed,
     ),
+    # Large instance for engine benchmarking (bench_engine.py) and scale
+    # studies: ~200 tasks, ~1500 edges.
+    "dag200": lambda seed: random_dag(
+        200, edge_probability=0.08, mean_duration=15.0, mean_comm=5.0, seed=seed,
+    ),
 }
 
 POLICY_BUILDERS: Dict[str, Callable[[int], "object"]] = {
@@ -204,6 +209,7 @@ def build_grid(
     base_seed: int = 0,
     comm: Sequence[bool] = (True,),
     fidelity: str = "latency",
+    fast: Optional[bool] = None,
 ) -> List[dict]:
     """Expand the scenario grid into a list of picklable spec dicts.
 
@@ -236,6 +242,7 @@ def build_grid(
                                 "policy_seed": base_seed + index,
                                 "with_comm": bool(with_comm),
                                 "fidelity": fidelity,
+                                "fast": fast,
                             }
                         )
     return grid
@@ -261,6 +268,9 @@ def run_scenario(spec: dict) -> dict:
             comm_model=comm_model,
             fidelity=spec.get("fidelity", "latency"),
             record_trace=False,
+            # None = auto: latency statistical runs go through the compiled
+            # fast engine (bit-identical); False pins the object engine.
+            fast=spec.get("fast"),
         )
         row.update(
             makespan=result.makespan,
@@ -336,13 +346,18 @@ def run_sweep(
     fidelity: str = "latency",
     jobs: int = 1,
     out: Optional[str] = None,
+    fast: Optional[bool] = None,
 ) -> dict:
     """Run the whole scenario grid and return (optionally write) the report.
 
     The report dict has ``meta`` (grid shape, wall time, jobs), ``results``
     (one row per simulation) and ``aggregates`` (per-cell summary).  With the
     default grid that is 3 policies × 2 machines × 2 families × 17 seeds =
-    204 simulations.
+    204 simulations.  *fast* selects the simulation engine per
+    :class:`~repro.sim.engine.Simulator` (``None`` — the default — lets
+    latency runs use the compiled fast engine; ``False`` pins the object
+    engine, e.g. for engine benchmarking); either way the numbers are
+    bit-for-bit identical.
     """
     grid = build_grid(
         policies=policies,
@@ -352,6 +367,7 @@ def run_sweep(
         base_seed=base_seed,
         comm=comm,
         fidelity=fidelity,
+        fast=fast,
     )
     wall_start = time.perf_counter()
     rows = parallel_map(run_scenario, grid, jobs=jobs)
@@ -370,6 +386,7 @@ def run_sweep(
             "base_seed": base_seed,
             "comm": [bool(c) for c in comm],
             "fidelity": fidelity,
+            "engine": {None: "auto", True: "fast", False: "object"}[fast],
         },
         "results": rows,
         "aggregates": _aggregate(rows),
@@ -446,6 +463,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fidelity", choices=["latency", "contention"], default="latency",
         help="simulator fidelity",
     )
+    parser.add_argument(
+        "--engine", choices=["auto", "fast", "object"], default="auto",
+        help=(
+            "simulation engine: 'auto' (default) compiles latency scenarios "
+            "into the index-space fast engine, 'object' pins the reference "
+            "engine, 'fast' forces the fast engine (errors on unsupported "
+            "scenarios); results are bit-identical either way"
+        ),
+    )
     parser.add_argument("--out", default="sweep_report.json", help="JSON report path")
     args = parser.parse_args(argv)
 
@@ -471,6 +497,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         fidelity=args.fidelity,
         jobs=args.jobs,
         out=args.out,
+        fast={"auto": None, "fast": True, "object": False}[args.engine],
     )
     print(format_sweep_report(report))
     print(f"report written to {args.out}")

@@ -69,6 +69,13 @@ class PacketContext:
         For every processor, the earliest time it could start a new task
         (idle processors report the epoch time; busy ones their expected
         availability).  Used by look-ahead heuristics.
+
+    The three mapping attributes are live **read-only views** of
+    incrementally-maintained engine state (not per-epoch snapshots): they
+    are only valid for the duration of the :meth:`SchedulingPolicy.assign`
+    call that received them, mutating them raises ``TypeError``, and a
+    policy that needs scratch state or a persistent snapshot must copy
+    (``dict(ctx.task_processor)``).
     """
 
     time: float
@@ -127,6 +134,25 @@ class SchedulingPolicy(ABC):
         epoch), but a policy must eventually assign every task or the
         simulation will abort with a livelock error.
         """
+
+    def fast_assign(self, packet) -> Optional[Dict[int, ProcId]]:
+        """Index-space epoch assignment for the compiled fast engine.
+
+        *packet* is a :class:`~repro.sim.compile.FastPacket`: ready tasks are
+        dense graph indices, and the compiled scenario exposes durations,
+        levels, speeds and equation-4 cost tables as arrays.  A policy that
+        implements this returns ``{task_index: processor}`` and **must**
+        produce exactly the assignment (and consume exactly the RNG draws)
+        its object-path :meth:`assign` would for the equivalent
+        :class:`PacketContext` — the fast engine is proven bit-identical to
+        the reference engine on that contract.
+
+        Returning ``None`` (the default) means "no fast path": the engine
+        materializes a :class:`PacketContext` and calls :meth:`assign`
+        instead.  A policy deciding to return ``None`` must do so *before*
+        consuming any stochastic state, or the fallback would replay draws.
+        """
+        return None
 
     def reset(self) -> None:
         """Clear any per-run state; called by the simulator before a run."""

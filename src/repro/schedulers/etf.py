@@ -13,18 +13,63 @@ On heterogeneous machines the communication cost already reflects weighted
 links (through the machine's weighted distances), and the speed tie-break
 steers equal-earliest-start candidates onto fast processors, which is where
 ETF-style earliest-start heuristics recover most of the heterogeneity gain.
+
+The selection is implemented as a matrix kernel.  Earliest starts are
+*epoch-invariant*: nothing assigned during the epoch changes the arrival of
+a ready task's (already finished) predecessors, so the ``(ready × idle)``
+earliest-start matrix is computed once per :meth:`~ETFScheduler.assign` and
+the greedy loop reduces to scanning a single lexicographic order — repeated
+masked argmin over a static key is exactly "take the first unused (task,
+processor) pair in that order".  The historical O(ready²·idle²·preds)
+rescan-and-``list.remove`` loop produced identical assignments and survives
+only in the differential tests.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
 
 from repro.schedulers.base import PacketContext, SchedulingPolicy
 
-__all__ = ["ETFScheduler"]
+__all__ = ["ETFScheduler", "greedy_pair_order"]
 
 TaskId = Hashable
 ProcId = int
+
+
+def greedy_pair_order(
+    est: np.ndarray, proc_speeds: np.ndarray, task_levels: np.ndarray
+) -> List[Tuple[int, int]]:
+    """Greedy ETF matching over a static ``(n_tasks, n_procs)`` key matrix.
+
+    Returns up to ``min(n_tasks, n_procs)`` positional ``(task_row,
+    proc_col)`` pairs, selected as if by repeatedly taking the masked argmin
+    of the key ``(est, -speed, -level, task_row, proc_col)`` and retiring the
+    chosen row and column.  Because the keys never change within an epoch,
+    that equals a single lexicographic sort followed by a first-fit scan
+    (``np.lexsort`` is stable, so row-major order supplies the positional
+    tie-breaks).
+    """
+    n_tasks, n_procs = est.shape
+    neg_speed = np.tile(-proc_speeds, n_tasks)
+    neg_level = np.repeat(-task_levels, n_procs)
+    order = np.lexsort((neg_level, neg_speed, est.ravel()))
+    pairs: List[Tuple[int, int]] = []
+    used_rows = [False] * n_tasks
+    used_cols = [False] * n_procs
+    budget = min(n_tasks, n_procs)
+    for flat in order.tolist():
+        i, j = divmod(flat, n_procs)
+        if used_rows[i] or used_cols[j]:
+            continue
+        used_rows[i] = True
+        used_cols[j] = True
+        pairs.append((i, j))
+        if len(pairs) == budget:
+            break
+    return pairs
 
 
 class ETFScheduler(SchedulingPolicy):
@@ -38,6 +83,13 @@ class ETFScheduler(SchedulingPolicy):
     """
 
     name = "ETF"
+
+    def __init__(self) -> None:
+        self._fast_cache = None  # (scenario, have_row: bool[n], rows: (n, P))
+
+    def reset(self) -> None:
+        """Drop the per-run arrival-row cache of the fast path."""
+        self._fast_cache = None
 
     def _earliest_start(self, ctx: PacketContext, task: TaskId, proc: ProcId) -> float:
         """Estimated earliest start of *task* on *proc* given predecessor placements."""
@@ -55,27 +107,72 @@ class ETFScheduler(SchedulingPolicy):
                 start = arrival
         return start
 
+    def _earliest_start_matrix(self, ctx: PacketContext) -> np.ndarray:
+        """The ``(n_ready, n_idle)`` matrix of :meth:`_earliest_start` values.
+
+        Each row accumulates ``max(finish + cost_row(...))`` over the task's
+        predecessors; ``cost_row`` is bit-identical to the scalar ``cost``
+        and ``max`` is exact, so every entry equals the scalar helper's
+        value bit for bit.
+        """
+        procs = np.asarray(ctx.idle_processors, dtype=np.intp)
+        est = np.full((ctx.n_ready, ctx.n_idle), ctx.time, dtype=np.float64)
+        for i, task in enumerate(ctx.ready_tasks):
+            row = est[i]
+            for pred in ctx.graph.predecessors(task):
+                src = ctx.task_processor.get(pred)
+                finish = ctx.finish_times.get(pred, ctx.time)
+                if src is None:
+                    np.maximum(row, finish, out=row)
+                else:
+                    arrivals = finish + ctx.comm_model.cost_row(
+                        ctx.machine, ctx.graph.comm(pred, task), src, procs
+                    )
+                    np.maximum(row, arrivals, out=row)
+        return est
+
     def assign(self, ctx: PacketContext) -> Dict[TaskId, ProcId]:
         if ctx.n_idle == 0 or ctx.n_ready == 0:
             return {}
-        remaining_tasks: List[TaskId] = list(ctx.ready_tasks)
-        remaining_procs: List[ProcId] = list(ctx.idle_processors)
+        est = self._earliest_start_matrix(ctx)
         speed_of = getattr(ctx.machine, "speed_of", None)
-        assignment: Dict[TaskId, ProcId] = {}
-        while remaining_tasks and remaining_procs:
-            best: Tuple[float, float, float, int, int] | None = None
-            best_pair: Tuple[TaskId, ProcId] | None = None
-            for ti, task in enumerate(remaining_tasks):
-                for pi, proc in enumerate(remaining_procs):
-                    est = self._earliest_start(ctx, task, proc)
-                    speed = speed_of(proc) if speed_of is not None else 1.0
-                    key = (est, -speed, -ctx.levels[task], ti, pi)
-                    if best is None or key < best:
-                        best = key
-                        best_pair = (task, proc)
-            assert best_pair is not None
-            task, proc = best_pair
-            assignment[task] = proc
-            remaining_tasks.remove(task)
-            remaining_procs.remove(proc)
-        return assignment
+        if speed_of is None:
+            speeds = np.ones(ctx.n_idle, dtype=np.float64)
+        else:
+            speeds = np.array([speed_of(p) for p in ctx.idle_processors], dtype=np.float64)
+        levels = np.array([ctx.levels[t] for t in ctx.ready_tasks], dtype=np.float64)
+        return {
+            ctx.ready_tasks[i]: ctx.idle_processors[j]
+            for i, j in greedy_pair_order(est, speeds, levels)
+        }
+
+    def fast_assign(self, packet) -> Optional[Dict[int, ProcId]]:
+        """Index-space ETF: cached arrival rows + one greedy scan per epoch.
+
+        A ready task's predecessor-arrival row (latest ``finish + cost`` per
+        processor) is a run-long invariant — every predecessor has finished
+        and placements never change — so each row is computed once, the
+        first epoch its task shows up ready, and the per-epoch work is just
+        ``max(now, rows[ready][:, idle])`` plus the greedy scan.
+        """
+        if packet.n_idle == 0 or packet.n_ready == 0:
+            return {}
+        sc = packet.scenario
+        cache = self._fast_cache
+        if cache is None or cache[0] is not sc:
+            cache = (sc, np.zeros(sc.n_tasks, dtype=bool), np.empty((sc.n_tasks, sc.n_procs)))
+            self._fast_cache = cache
+        _, have, rows = cache
+        new = [ti for ti in packet.ready if not have[ti]]
+        if new:
+            rows[new] = packet.arrival_rows(new)
+            have[new] = True
+        ready = np.asarray(packet.ready, dtype=np.intp)
+        idle = np.asarray(packet.idle, dtype=np.intp)
+        est = np.maximum(rows[ready[:, None], idle[None, :]], packet.time)
+        speeds = sc.speeds[idle]
+        levels = sc.levels[ready]
+        return {
+            packet.ready[i]: packet.idle[j]
+            for i, j in greedy_pair_order(est, speeds, levels)
+        }

@@ -7,7 +7,7 @@ levels and communication.  This is the "no priority" baseline.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from typing import Dict, Hashable, Optional
 
 from repro.schedulers.base import PacketContext, SchedulingPolicy
 
@@ -27,3 +27,8 @@ class FIFOScheduler(SchedulingPolicy):
             return {}
         k = min(ctx.n_idle, ctx.n_ready)
         return dict(zip(ctx.ready_tasks[:k], ctx.idle_processors[:k]))
+
+    def fast_assign(self, packet) -> Optional[Dict[int, ProcId]]:
+        """Index-space FIFO: ready indices are already in insertion order."""
+        k = min(packet.n_idle, packet.n_ready)
+        return dict(zip(packet.ready[:k], packet.idle[:k]))

@@ -33,7 +33,9 @@ Three placement variants are provided:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List
+from typing import Dict, Hashable, List, Optional
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.schedulers.base import PacketContext, SchedulingPolicy, fastest_first
@@ -104,6 +106,63 @@ class HLFScheduler(SchedulingPolicy):
             shuffled = [procs[int(i)] for i in order]
             return dict(zip(selected, shuffled))
         return self._assign_min_comm(ctx, selected)
+
+    def fast_assign(self, packet) -> Optional[Dict[int, ProcId]]:
+        """Index-space HLF: stable level argsort + the placement kernels.
+
+        Consumes exactly the RNG draws of the object path (one
+        ``permutation(n_idle)`` per epoch for ``"arbitrary"``), so a run is
+        bit-identical whichever engine drives the policy.
+        """
+        if packet.n_idle == 0 or packet.n_ready == 0:
+            return {}
+        sc = packet.scenario
+        levels = sc.levels_list
+        # Stable sort on -level == sorted by (-level, ready position).
+        selected = sorted(packet.ready, key=lambda ti: -levels[ti])[: packet.n_idle]
+        idle = packet.idle
+        if self.placement == "index":
+            return dict(zip(selected, idle))
+        if self.placement == "fastest":
+            speeds = sc.speeds_list
+            procs = sorted(idle, key=lambda p: (-speeds[p], p))
+            return dict(zip(selected, procs))
+        if self.placement == "arbitrary":
+            perm = self._rng.permutation(len(idle))
+            return dict(zip(selected, (idle[int(i)] for i in perm)))
+        return self._fast_min_comm(packet, selected)
+
+    def _fast_min_comm(self, packet, selected: List[int]) -> Dict[int, ProcId]:
+        """Greedy min-comm placement over the compiled per-edge cost tables.
+
+        Accumulates each candidate row in predecessor order (the float
+        summation order of the scalar path) and scans free processors in
+        order with the same ``cost < best or (cost == best and speed >
+        best_speed)`` rule, so placements match the object path bit for bit.
+        """
+        sc = packet.scenario
+        assignment: Dict[int, ProcId] = {}
+        free: List[ProcId] = list(packet.idle)
+        indptr, preds = sc.pred_indptr, sc.pred_ids
+        for ti in selected:
+            procs = np.asarray(free, dtype=np.intp)
+            costs = np.zeros(len(free), dtype=np.float64)
+            for e in range(indptr[ti], indptr[ti + 1]):
+                table = sc.pred_table(e)
+                if table is not None:
+                    costs = costs + table[packet.assigned_proc[preds[e]], procs]
+            best_k = 0
+            best_cost = float("inf")
+            best_speed = 0.0
+            for k, proc in enumerate(free):
+                cost = costs[k]
+                speed = sc.speeds[proc]
+                if cost < best_cost or (cost == best_cost and speed > best_speed):
+                    best_cost = cost
+                    best_k = k
+                    best_speed = speed
+            assignment[ti] = free.pop(best_k)
+        return assignment
 
     def _assign_min_comm(self, ctx: PacketContext, selected: List[TaskId]) -> Dict[TaskId, ProcId]:
         """Greedy communication-aware placement of the already-selected tasks.

@@ -13,7 +13,7 @@ order, as before.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from typing import Dict, Hashable, Optional
 
 from repro.schedulers.base import PacketContext, SchedulingPolicy, fastest_first
 
@@ -41,3 +41,14 @@ class LPTScheduler(SchedulingPolicy):
         )
         selected = order[: ctx.n_idle]
         return dict(zip(selected, fastest_first(ctx.machine, ctx.idle_processors)))
+
+    def fast_assign(self, packet) -> Optional[Dict[int, ProcId]]:
+        """Index-space LPT: stable duration argsort + fastest-first placement."""
+        if packet.n_idle == 0 or packet.n_ready == 0:
+            return {}
+        sc = packet.scenario
+        durations = sc.durations_list
+        speeds = sc.speeds_list
+        selected = sorted(packet.ready, key=lambda ti: -durations[ti])[: packet.n_idle]
+        procs = sorted(packet.idle, key=lambda p: (-speeds[p], p))
+        return dict(zip(selected, procs))

@@ -8,7 +8,7 @@ placements in property-based tests.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable
+from typing import Dict, Hashable, Optional
 
 from repro.schedulers.base import PacketContext, SchedulingPolicy
 from repro.utils.rng import SeedLike, as_rng
@@ -40,5 +40,17 @@ class RandomScheduler(SchedulingPolicy):
         proc_idx = self._rng.permutation(ctx.n_idle)[:k]
         return {
             ctx.ready_tasks[int(ti)]: ctx.idle_processors[int(pi)]
+            for ti, pi in zip(task_idx, proc_idx)
+        }
+
+    def fast_assign(self, packet) -> Optional[Dict[int, ProcId]]:
+        """Index-space random placement with the object path's exact draws."""
+        if packet.n_idle == 0 or packet.n_ready == 0:
+            return {}
+        k = min(packet.n_idle, packet.n_ready)
+        task_idx = self._rng.permutation(packet.n_ready)[:k]
+        proc_idx = self._rng.permutation(packet.n_idle)[:k]
+        return {
+            packet.ready[int(ti)]: packet.idle[int(pi)]
             for ti, pi in zip(task_idx, proc_idx)
         }

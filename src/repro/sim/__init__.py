@@ -6,16 +6,29 @@ setup of the paper: assignment epochs at time zero and whenever a processor
 becomes idle, message latencies following equation 4, optional per-link
 contention with store-and-forward hops, and full execution traces from which
 speedups (Table 2) and Gantt charts (Figure 2) are derived.
+
+Two engines implement the same semantics: the object engine
+(:mod:`repro.sim.engine`) supports both fidelities and full traces, and the
+compiled fast engine (:mod:`repro.sim.compile` + :mod:`repro.sim.fast_engine`)
+runs latency-fidelity scenarios in index space at a multiple of the speed —
+bit-for-bit identical, dispatched automatically by :class:`Simulator`.
 """
 
 from repro.sim.events import EventQueue, Event
 from repro.sim.message import MessageRecord
 from repro.sim.trace import TaskRecord, OverheadRecord, ExecutionTrace
 from repro.sim.results import SimulationResult
+from repro.sim.compile import CompiledScenario, FastPacket, compile_scenario, supports_comm_model
+from repro.sim.fast_engine import run_compiled
 from repro.sim.engine import Simulator, simulate
 from repro.sim.gantt import render_gantt
 
 __all__ = [
+    "CompiledScenario",
+    "FastPacket",
+    "compile_scenario",
+    "supports_comm_model",
+    "run_compiled",
     "EventQueue",
     "Event",
     "MessageRecord",

@@ -1,0 +1,357 @@
+"""Lowering a simulation scenario into dense index space.
+
+The object engine (:mod:`repro.sim.engine`) walks Python dictionaries: task
+identifiers are arbitrary hashables, predecessor lists are re-fetched from the
+graph at every epoch, and every message cost is a fresh ``comm_model.cost``
+call.  For large statistical sweeps the simulator — not the optimizer — is
+now the bottleneck, so this module compiles the immutable parts of a scenario
+**once** and lets the fast engine (:mod:`repro.sim.fast_engine`) and the
+vectorized scheduler kernels (``SchedulingPolicy.fast_assign``) run entirely
+on integer indices and numpy arrays:
+
+* tasks get dense indices ``0 .. n-1`` in graph-insertion order (the order
+  every epoch's ready list is enumerated in, so index order *is* ready
+  order);
+* predecessor / successor adjacency is stored in CSR form (``indptr`` +
+  ``indices``), with the per-edge communication weights aligned to the
+  predecessor arrays;
+* durations, levels and per-processor speeds become both float64 vectors
+  (for the vectorized kernels) and plain Python lists (for the engine's
+  scalar hot path, where list indexing beats numpy scalar indexing);
+* the equation-4 effective communication cost is folded into one dense
+  ``(n_edges, n_procs, n_procs)`` tensor built with the exact float
+  operation order of ``CommunicationModel.cost_row``
+  (``(w * wdist + routing) + setup``), so an indexed lookup is **bit-for-bit
+  identical** to the scalar ``cost()`` call it replaces.
+
+Only the built-in :class:`~repro.comm.model.LinearCommModel` and
+:class:`~repro.comm.model.ZeroCommModel` (exact types, not subclasses) are
+foldable; :func:`supports_comm_model` reports that, and the simulator falls
+back to the object engine for anything else.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+import numpy as np
+
+from repro.comm.model import CommunicationModel, LinearCommModel, ZeroCommModel
+from repro.machine.machine import Machine
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = ["CompiledScenario", "FastPacket", "compile_scenario", "supports_comm_model"]
+
+TaskId = Hashable
+
+
+def supports_comm_model(comm_model: CommunicationModel) -> bool:
+    """True when the model's costs can be folded into dense tables.
+
+    Exact type checks on purpose: a subclass may override ``cost`` with
+    arbitrary logic the tables cannot reproduce.
+    """
+    return type(comm_model) in (LinearCommModel, ZeroCommModel)
+
+
+#: Compiled-scenario memo, keyed weakly by graph (entries die with the
+#: graph, and the graph object itself stays pickle-clean).  Each graph maps
+#: to an insertion-ordered ``{(model type, version, machine id): (machine,
+#: scenario)}`` dict bounded by ``_SCENARIO_CACHE_PER_GRAPH`` (FIFO
+#: eviction), so alternating machines or repeated mutation cannot grow it
+#: without bound.
+_SCENARIO_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_SCENARIO_CACHE_PER_GRAPH = 8
+
+
+@dataclass
+class CompiledScenario:
+    """One (graph, machine, comm model) triple lowered to arrays.
+
+    Attributes
+    ----------
+    task_ids:
+        Task identifiers in graph-insertion order; position is the dense index.
+    durations, levels:
+        Float64 vectors over the dense task indices (``durations_list`` /
+        ``levels_list`` are plain-float mirrors for scalar hot paths).
+    pred_indptr, pred_ids, pred_weights:
+        CSR predecessors: the predecessors of task *i* are
+        ``pred_ids[pred_indptr[i]:pred_indptr[i+1]]`` (dense indices, in the
+        graph's ``predecessors()`` order) and ``pred_weights`` the aligned
+        edge communication weights ``w_ij``.
+    succ_indptr, succ_ids:
+        CSR successors, same layout.
+    speeds:
+        Per-processor speed factors (all 1.0 on homogeneous machines).
+    comm_enabled:
+        False for the zero-communication model (every cost is 0.0).
+    """
+
+    graph: TaskGraph
+    machine: Machine
+    comm_model: CommunicationModel
+    task_ids: List[TaskId]
+    index_of: Dict[TaskId, int]
+    durations: np.ndarray
+    levels: np.ndarray
+    pred_indptr: np.ndarray
+    pred_ids: np.ndarray
+    pred_weights: np.ndarray
+    succ_indptr: np.ndarray
+    succ_ids: np.ndarray
+    speeds: np.ndarray
+    comm_enabled: bool
+    durations_list: List[float] = field(repr=False, default_factory=list)
+    levels_list: List[float] = field(repr=False, default_factory=list)
+    speeds_list: List[float] = field(repr=False, default_factory=list)
+    #: CSR layout mirrors for the scalar engine loop (plain ints).
+    pred_indptr_list: List[int] = field(repr=False, default_factory=list)
+    pred_ids_list: List[int] = field(repr=False, default_factory=list)
+    succ_indptr_list: List[int] = field(repr=False, default_factory=list)
+    succ_ids_list: List[int] = field(repr=False, default_factory=list)
+    _wdistance: np.ndarray = field(repr=False, default=None)
+    _routing: np.ndarray = field(repr=False, default=None)
+    _setup: np.ndarray = field(repr=False, default=None)
+    #: ``(n_edges, P, P)`` equation-4 cost tensor over predecessor-CSR entries
+    #: (``None`` for the zero model).
+    _pred_costs: Optional[np.ndarray] = field(repr=False, default=None)
+    _weight_tables: Dict[float, np.ndarray] = field(repr=False, default_factory=dict)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.task_ids)
+
+    @property
+    def n_procs(self) -> int:
+        return self.machine.n_processors
+
+    # ------------------------------------------------------------------ #
+    def cost_table(self, weight: float) -> np.ndarray:
+        """The dense ``(P, P)`` equation-4 cost table for edge weight *weight*.
+
+        Entry ``[u, v]`` equals ``comm_model.cost(machine, weight, u, v)``
+        bit for bit: built with the operation order of ``cost_row``
+        (``(weight * wdist + routing) + setup``), which mirrors the scalar
+        ``effective_comm_cost`` term by term.  Cached per distinct weight.
+        """
+        table = self._weight_tables.get(weight)
+        if table is None:
+            if not self.comm_enabled:
+                table = np.zeros((self.n_procs, self.n_procs), dtype=np.float64)
+            else:
+                table = (weight * self._wdistance + self._routing) + self._setup
+            self._weight_tables[weight] = table
+        return table
+
+    def pred_table(self, e: int) -> Optional[np.ndarray]:
+        """The ``(P, P)`` cost table of predecessor-CSR entry *e* (``None`` when free)."""
+        if self._pred_costs is None:
+            return None
+        return self._pred_costs[e]
+
+    def edge_cost(self, e: int, src: int, dst: int) -> float:
+        """Scalar equation-4 cost of predecessor-CSR entry *e* from *src* to *dst*."""
+        if self._pred_costs is None:
+            return 0.0
+        p = self.n_procs
+        return self._pred_costs.item((e * p + src) * p + dst)
+
+
+def compile_scenario(
+    graph: TaskGraph,
+    machine: Machine,
+    comm_model: CommunicationModel,
+    levels: Optional[Dict[TaskId, float]] = None,
+) -> CompiledScenario:
+    """Lower *graph* on *machine* under *comm_model* to a :class:`CompiledScenario`.
+
+    *levels* may be passed when the caller already computed them (the object
+    engine does); they are recomputed otherwise.  Raises ``ValueError`` when
+    the communication model cannot be folded (check
+    :func:`supports_comm_model` first, or let the simulator fall back).
+    """
+    if not supports_comm_model(comm_model):
+        raise ValueError(
+            f"cannot compile communication model {type(comm_model).__name__}; "
+            "only the built-in LinearCommModel/ZeroCommModel fold into tables"
+        )
+    # Paired comparisons (sweeps, benchmarks, golden tests) run several
+    # policies over the same (graph, machine, comm) triple back to back;
+    # memoize the lowering per graph, invalidated by its structural version
+    # (the built-in models are stateless, so the type identifies the
+    # tables).  The cached machine is compared by identity: the entry keeps
+    # it alive, so its ``id()`` cannot be recycled while the entry exists.
+    cache = _SCENARIO_CACHE.get(graph)
+    if cache is None:
+        cache = _SCENARIO_CACHE[graph] = {}
+    key = (type(comm_model), getattr(graph, "_version", None), id(machine))
+    entry = cache.get(key)
+    if entry is not None and entry[0] is machine:
+        return entry[1]
+    task_ids = graph.tasks
+    index_of = {t: i for i, t in enumerate(task_ids)}
+    n = len(task_ids)
+    durations_list = [graph._tasks[t].duration for t in task_ids]
+    if levels is None:
+        levels = graph.levels()
+    levels_list = [levels[t] for t in task_ids]
+
+    # CSR adjacency straight off the graph's insertion-ordered dicts.
+    pred_indptr_list = [0] * (n + 1)
+    pred_ids_list: List[int] = []
+    pred_weights: List[float] = []
+    succ_indptr_list = [0] * (n + 1)
+    succ_ids_list: List[int] = []
+    for i, t in enumerate(task_ids):
+        for p, w in graph._pred[t].items():
+            pred_ids_list.append(index_of[p])
+            pred_weights.append(w)
+        pred_indptr_list[i + 1] = len(pred_ids_list)
+        for s in graph._succ[t]:
+            succ_ids_list.append(index_of[s])
+        succ_indptr_list[i + 1] = len(succ_ids_list)
+
+    n_procs = machine.n_processors
+    weights_arr = np.array(pred_weights, dtype=np.float64)
+    enabled = comm_model.enabled
+    if enabled:
+        # Distance/weighted-distance matrices with the exact values the
+        # scalar path reads: diagonal hops are 0 and the Kronecker delta
+        # folds the same-processor collapse into the routing/setup terms
+        # ((0 - 1 + 1) * tau = 0 and (1 - 1) * sigma = 0, like the paper).
+        distance = machine.distance_matrix().astype(np.float64)
+        if getattr(machine, "has_unit_link_weights", True):
+            wdistance = distance
+        else:
+            wdistance = machine.weighted_distance_matrix().astype(np.float64)
+        eye = np.eye(n_procs, dtype=np.float64)
+        routing = (distance - 1.0 + eye) * machine.params.tau
+        setup = (1.0 - eye) * machine.params.sigma
+        # All per-edge tables in one batched expression — elementwise the
+        # same ``(w * wdist + routing) + setup`` of ``cost_row``, so every
+        # entry is bit-identical to the scalar cost.
+        pred_costs = (weights_arr[:, None, None] * wdistance + routing) + setup
+    else:
+        wdistance = routing = setup = np.zeros((n_procs, n_procs), dtype=np.float64)
+        pred_costs = None
+
+    scenario = CompiledScenario(
+        graph=graph,
+        machine=machine,
+        comm_model=comm_model,
+        task_ids=task_ids,
+        index_of=index_of,
+        durations=np.array(durations_list, dtype=np.float64),
+        levels=np.array(levels_list, dtype=np.float64),
+        pred_indptr=np.array(pred_indptr_list, dtype=np.intp),
+        pred_ids=np.array(pred_ids_list, dtype=np.intp),
+        pred_weights=weights_arr,
+        succ_indptr=np.array(succ_indptr_list, dtype=np.intp),
+        succ_ids=np.array(succ_ids_list, dtype=np.intp),
+        speeds=machine.speeds,
+        comm_enabled=enabled,
+        durations_list=durations_list,
+        levels_list=levels_list,
+        speeds_list=[float(s) for s in machine.speeds],
+        pred_indptr_list=pred_indptr_list,
+        pred_ids_list=pred_ids_list,
+        succ_indptr_list=succ_indptr_list,
+        succ_ids_list=succ_ids_list,
+        _wdistance=wdistance,
+        _routing=routing,
+        _setup=setup,
+        _pred_costs=pred_costs,
+    )
+    while len(cache) >= _SCENARIO_CACHE_PER_GRAPH:
+        cache.pop(next(iter(cache)))
+    cache[key] = (machine, scenario)
+    return scenario
+
+
+@dataclass
+class FastPacket:
+    """The index-space view of one assignment epoch.
+
+    The fast-engine counterpart of
+    :class:`~repro.schedulers.base.PacketContext`: ready tasks and idle
+    processors are dense indices, and the compiled scenario gives kernels
+    O(1) access to durations, levels, speeds and per-edge cost tables.
+    ``assigned_proc`` / ``finish_times`` are live views of the engine's full
+    state arrays (entry ``-1`` / unspecified for unassigned tasks) — kernels
+    may only read the entries of finished predecessors.
+    ``proc_ready_time[p]`` is the epoch time for idle processors and the
+    expected availability for busy ones, like
+    ``PacketContext.processor_ready_time``.
+    """
+
+    time: float
+    ready: List[int]
+    idle: List[int]
+    scenario: CompiledScenario
+    assigned_proc: np.ndarray
+    finish_times: np.ndarray
+    proc_ready_time: np.ndarray
+
+    @property
+    def n_ready(self) -> int:
+        return len(self.ready)
+
+    @property
+    def n_idle(self) -> int:
+        return len(self.idle)
+
+    def arrival_rows(self, tasks: List[int]) -> np.ndarray:
+        """Per-task predecessor-arrival rows over **all** processors.
+
+        Row *k* gives, for every processor *p*, the latest ``finish + cost``
+        over the predecessors of ``tasks[k]`` were it placed on *p* —
+        ``-inf`` for tasks with no predecessors.  For a *ready* task the row
+        is a run-long invariant (all predecessors have finished, and
+        placements never change), which is what lets ETF's kernel cache rows
+        across epochs; the earliest start on processor *p* at epoch time
+        ``t`` is then exactly ``max(t, row[p])``, bit-identical to the
+        scalar path (``max`` is exact, so accumulation order is free).
+
+        Evaluated as one gather over the tasks' CSR entries followed by a
+        segmented ``maximum.reduceat``.
+        """
+        sc = self.scenario
+        n_procs = sc.n_procs
+        rows = np.full((len(tasks), n_procs), -np.inf, dtype=np.float64)
+        task_arr = np.asarray(tasks, dtype=np.intp)
+        starts = sc.pred_indptr[task_arr]
+        counts = sc.pred_indptr[task_arr + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            return rows
+        # Flat CSR entry indices of every (task, predecessor) pair.
+        offsets = np.zeros(len(tasks), dtype=np.intp)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        entries = np.arange(total, dtype=np.intp) + np.repeat(starts - offsets, counts)
+        preds = sc.pred_ids[entries]
+        fin = self.finish_times[preds]
+        if sc._pred_costs is None:
+            arrivals = np.broadcast_to(fin[:, None], (total, n_procs))
+        else:
+            srcs = self.assigned_proc[preds]
+            arrivals = fin[:, None] + sc._pred_costs[entries, srcs]
+        # Entries are grouped by task (CSR rows are contiguous), so a
+        # segmented max over the non-empty groups folds each task's
+        # predecessors; empty groups keep -inf.
+        nonempty = np.flatnonzero(counts)
+        rows[nonempty] = np.maximum.reduceat(arrivals, offsets[nonempty], axis=0)
+        return rows
+
+    def earliest_start_matrix(self) -> np.ndarray:
+        """The ``(n_ready, n_idle)`` earliest-start matrix of this epoch.
+
+        Entry ``[i, j]`` is the earliest time ``ready[i]`` could start on
+        ``idle[j]`` given the placements and finish times of its (already
+        finished) predecessors — the quantity ETF's reference path computes
+        one scalar at a time: ``max(epoch time, arrival row)``.
+        """
+        rows = self.arrival_rows(self.ready)[:, np.asarray(self.idle, dtype=np.intp)]
+        return np.maximum(rows, self.time)

@@ -33,18 +33,27 @@ of base duration ``D`` runs for ``D / speed`` on a processor of speed factor
 communication model, and contention messages occupy each link for ``w_ij *
 link_weight``.  With the default unit speeds and weights every charge is
 bit-for-bit identical to the homogeneous engine.
+
+This module is the *object* engine — the readable reference implementation.
+Latency-fidelity runs without trace recording are dispatched automatically
+to the compiled index-space fast engine (:mod:`repro.sim.compile` +
+:mod:`repro.sim.fast_engine`), which is proven bit-for-bit identical; see
+the ``fast`` parameter of :class:`Simulator`.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, insort
+from types import MappingProxyType
 from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.comm.model import CommunicationModel, LinearCommModel
 from repro.exceptions import SimulationError
 from repro.machine.machine import Machine
 from repro.schedulers.base import PacketContext, SchedulingPolicy, validate_assignment
+from repro.sim.compile import compile_scenario, supports_comm_model
 from repro.sim.events import EventQueue, TASK_FINISH
+from repro.sim.fast_engine import run_compiled
 from repro.sim.message import MessageRecord
 from repro.sim.results import SimulationResult
 from repro.sim.trace import ExecutionTrace, OverheadRecord, TaskRecord
@@ -78,6 +87,15 @@ class Simulator:
     record_trace:
         Keep the full execution trace (task intervals, messages, overheads).
         Disable for large statistical benchmarks to save memory.
+    fast:
+        Engine selection.  ``None`` (default) dispatches latency-fidelity
+        runs without trace recording to the compiled index-space engine
+        (:mod:`repro.sim.fast_engine`) whenever the communication model is
+        foldable, and uses the object engine otherwise — the two are proven
+        bit-for-bit identical, so the choice is invisible.  ``True`` forces
+        the fast engine (raising :class:`SimulationError` when the scenario
+        is unsupported, e.g. contention fidelity) and also allows it to
+        record a trace; ``False`` opts out entirely.
     """
 
     def __init__(
@@ -88,6 +106,7 @@ class Simulator:
         comm_model: Optional[CommunicationModel] = None,
         fidelity: str = "latency",
         record_trace: bool = True,
+        fast: Optional[bool] = None,
     ) -> None:
         if fidelity not in _FIDELITIES:
             raise SimulationError(f"fidelity must be one of {_FIDELITIES}, got {fidelity!r}")
@@ -98,12 +117,44 @@ class Simulator:
         self.comm_model = comm_model if comm_model is not None else LinearCommModel()
         self.fidelity = fidelity
         self.record_trace = bool(record_trace)
+        self.fast = fast
+
+    # ------------------------------------------------------------------ #
+    def _use_fast_engine(self) -> bool:
+        """Decide whether this run goes through the compiled fast engine."""
+        if self.fast is True:
+            if self.fidelity != "latency":
+                raise SimulationError(
+                    "fast=True requires the 'latency' fidelity; the contention "
+                    "model is only implemented by the object engine"
+                )
+            if not supports_comm_model(self.comm_model):
+                raise SimulationError(
+                    f"fast=True cannot fold communication model "
+                    f"{type(self.comm_model).__name__} into tables; "
+                    "use the object engine (fast=False) for custom models"
+                )
+            return True
+        if self.fast is False:
+            return False
+        return (
+            self.fidelity == "latency"
+            and not self.record_trace
+            and supports_comm_model(self.comm_model)
+        )
 
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
         """Execute the simulation and return a :class:`SimulationResult`."""
         graph, machine = self.graph, self.machine
         self.policy.reset()
+
+        if self._use_fast_engine():
+            levels = graph.levels()
+            scenario = compile_scenario(graph, machine, self.comm_model, levels=levels)
+            return run_compiled(
+                scenario, self.policy, levels=levels, record_trace=self.record_trace
+            )
 
         if graph.n_tasks == 0:
             return SimulationResult(
@@ -135,6 +186,15 @@ class Simulator:
         assigned_proc: Dict[TaskId, ProcId] = {}
         finish_times: Dict[TaskId, float] = {}
         finished: set = set()
+        # Incrementally-maintained context state: the per-epoch PacketContext
+        # used to be built from O(n) dict copies (placement history, finished
+        # times, processor availability); these three dicts are instead kept
+        # current in O(1) per placement/completion and handed to policies as
+        # read-only views.  ``ctx_finish_times`` holds *finished* tasks only
+        # (the contract of PacketContext.finish_times), and idle processors'
+        # ready times are refreshed to the epoch time in ``run_epoch``.
+        ctx_finish_times: Dict[TaskId, float] = {}
+        ctx_proc_ready: Dict[ProcId, float] = {p: 0.0 for p in all_procs}
         proc_occupant: Dict[ProcId, Optional[TaskId]] = {p: None for p in all_procs}
         proc_task_free: Dict[ProcId, float] = {p: 0.0 for p in all_procs}
         proc_comm_free: Dict[ProcId, float] = {p: 0.0 for p in all_procs}
@@ -246,6 +306,7 @@ class Simulator:
             start = max(now, data_ready, proc_comm_free[proc], proc_task_free[proc])
             finish = start + graph.duration(task) / proc_speed[proc]
             proc_task_free[proc] = finish
+            ctx_proc_ready[proc] = finish
             if self.record_trace:
                 trace.task_records.append(
                     TaskRecord(
@@ -265,6 +326,8 @@ class Simulator:
             idle = idle_processors()
             if not ready or not idle:
                 return
+            for p in idle:
+                ctx_proc_ready[p] = now
             ctx = PacketContext(
                 time=now,
                 ready_tasks=ready,
@@ -272,13 +335,10 @@ class Simulator:
                 graph=graph,
                 machine=machine,
                 levels=levels,
-                task_processor=dict(assigned_proc),
-                finish_times={t: finish_times[t] for t in finished},
+                task_processor=MappingProxyType(assigned_proc),
+                finish_times=MappingProxyType(ctx_finish_times),
                 comm_model=self.comm_model,
-                processor_ready_time={
-                    p: (now if proc_occupant[p] is None else proc_task_free[p])
-                    for p in all_procs
-                },
+                processor_ready_time=MappingProxyType(ctx_proc_ready),
             )
             assignment = self.policy.assign(ctx)
             validate_assignment(ctx, assignment)
@@ -309,6 +369,7 @@ class Simulator:
                     raise SimulationError(f"unknown event kind {event.kind!r}")
                 task = event.payload
                 finished.add(task)
+                ctx_finish_times[task] = finish_times[task]
                 proc = assigned_proc[task]
                 if proc_occupant[proc] == task:
                     proc_occupant[proc] = None
@@ -340,6 +401,7 @@ def simulate(
     comm_model: Optional[CommunicationModel] = None,
     fidelity: str = "latency",
     record_trace: bool = True,
+    fast: Optional[bool] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it once."""
     return Simulator(
@@ -349,4 +411,5 @@ def simulate(
         comm_model=comm_model,
         fidelity=fidelity,
         record_trace=record_trace,
+        fast=fast,
     ).run()

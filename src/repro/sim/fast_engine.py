@@ -1,0 +1,307 @@
+"""The compiled fast simulation engine.
+
+Runs the latency-fidelity discrete-event loop of :mod:`repro.sim.engine`
+entirely in index space over a :class:`~repro.sim.compile.CompiledScenario`:
+tasks are dense integers, simulation state lives in flat arrays
+(``unfinished_preds``, ``finish_times``, ``assigned_proc``, per-processor
+free times), the event set is a plain ``(time, seq, task)`` heap, and every
+equation-4 message cost is a precompiled table lookup.  Policies that
+implement :meth:`~repro.schedulers.base.SchedulingPolicy.fast_assign` (ETF,
+HLF, LPT, FIFO, Random) are driven through index-space kernels; any other
+policy (notably SA, whose annealer is already compiled) receives a
+:class:`~repro.schedulers.base.PacketContext` materialized lazily from
+incrementally-maintained dictionaries — no per-epoch O(n) copies either way.
+
+Every arithmetic operation mirrors the reference engine's float operation
+order, so a fast run is **bit-for-bit identical** to a reference run: same
+makespan, same assignments, same task intervals, same fingerprint.  The
+golden-trace suite and the hypothesis differential tests pin that contract.
+
+The fast engine only implements the ``"latency"`` fidelity (the model the SA
+cost function assumes); :class:`~repro.sim.engine.Simulator` dispatches here
+automatically for latency runs without trace recording and falls back to the
+object engine otherwise (``fast=True`` forces the fast path, e.g. to record
+an equivalence trace; ``fast=False`` opts out).
+"""
+
+from __future__ import annotations
+
+import heapq
+import operator
+from bisect import bisect_left, insort
+from types import MappingProxyType
+from typing import Dict, Hashable, List, Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.schedulers.base import PacketContext, SchedulingPolicy, validate_assignment
+from repro.sim.compile import CompiledScenario, FastPacket
+from repro.sim.message import MessageRecord
+from repro.sim.results import SimulationResult
+from repro.sim.trace import ExecutionTrace, TaskRecord
+
+__all__ = ["run_compiled"]
+
+TaskId = Hashable
+ProcId = int
+
+
+def _validate_fast_assignment(
+    time: float,
+    unfinished: List[int],
+    assigned: List[int],
+    proc_occupant: List[int],
+    assignment: Dict[int, ProcId],
+) -> None:
+    """Index-space counterpart of :func:`~repro.schedulers.base.validate_assignment`.
+
+    Checked against the engine's own state (a task is ready iff it is
+    unassigned with no unfinished predecessors; a processor is idle iff it
+    has no occupant), so the check costs O(assignment) instead of
+    materializing ready/idle sets.
+    """
+    from repro.exceptions import SchedulingError
+
+    seen: set = set()
+    for task, proc in assignment.items():
+        try:
+            task = operator.index(task)
+            proc = operator.index(proc)
+        except TypeError:
+            raise SchedulingError(
+                f"fast assignment must map task indices to processor indices, "
+                f"got {task!r} -> {proc!r} at t={time}"
+            ) from None
+        if not 0 <= task < len(unfinished) or assigned[task] >= 0 or unfinished[task] != 0:
+            raise SchedulingError(f"task {task!r} is not ready at t={time}")
+        if not 0 <= proc < len(proc_occupant) or proc_occupant[proc] >= 0:
+            raise SchedulingError(f"processor {proc!r} is not idle at t={time}")
+        if proc in seen:
+            raise SchedulingError(f"processor {proc!r} assigned more than one task")
+        seen.add(proc)
+
+
+def run_compiled(
+    scenario: CompiledScenario,
+    policy: SchedulingPolicy,
+    levels: Optional[Dict[TaskId, float]] = None,
+    record_trace: bool = False,
+) -> SimulationResult:
+    """Execute *scenario* under *policy* and return a :class:`SimulationResult`.
+
+    The caller (normally :class:`~repro.sim.engine.Simulator`) is responsible
+    for ``policy.reset()`` and graph validation.  *levels* is the id-keyed
+    level mapping for the object-path fallback context; recomputed when
+    omitted.
+    """
+    graph, machine = scenario.graph, scenario.machine
+    n = scenario.n_tasks
+    n_procs = scenario.n_procs
+    policy_name = getattr(policy, "name", type(policy).__name__)
+    if n == 0:
+        return SimulationResult(
+            makespan=0.0,
+            total_work=0.0,
+            n_processors=n_procs,
+            graph_name=graph.name,
+            machine_name=machine.name,
+            policy_name=policy_name,
+            trace=ExecutionTrace() if record_trace else None,
+        )
+
+    task_ids = scenario.task_ids
+    # Plain-list mirrors: python list indexing returns cached floats/ints at
+    # a fraction of the cost of numpy scalar indexing, and this loop is all
+    # scalar.
+    durations = scenario.durations_list
+    speeds = scenario.speeds_list
+    pred_indptr, pred_ids = scenario.pred_indptr_list, scenario.pred_ids_list
+    succ_indptr, succ_ids = scenario.succ_indptr_list, scenario.succ_ids_list
+    pred_weights = scenario.pred_weights
+    pred_costs = scenario._pred_costs  # None for the zero model
+    p_sq_stride = n_procs  # flat (e, src, dst) lookup stride
+
+    # --- flat simulation state ----------------------------------------- #
+    unfinished = [pred_indptr[i + 1] - pred_indptr[i] for i in range(n)]
+    ready_keys: List[int] = [i for i in range(n) if unfinished[i] == 0]
+    assigned = [-1] * n
+    finish = [0.0] * n
+    n_finished = 0
+    proc_occupant = [-1] * n_procs
+    proc_task_free = [0.0] * n_procs
+    heap: List[tuple] = []
+    seq = 0
+    n_packets = 0
+    trace = ExecutionTrace()
+
+    # The object-path fallback (policies without ``fast_assign``, e.g. SA —
+    # or a policy whose fast path declines one epoch) sees the same
+    # PacketContext as the reference engine, built from these
+    # incrementally-maintained dictionaries: O(1) upkeep per placement /
+    # completion instead of O(n) copies per epoch.
+    has_fast = type(policy).fast_assign is not SchedulingPolicy.fast_assign
+    ctx_task_processor: Dict[TaskId, ProcId] = {}
+    ctx_finish: Dict[TaskId, float] = {}
+    ctx_proc_ready: Dict[ProcId, float] = {p: 0.0 for p in range(n_procs)}
+
+    # ``assigned``/``finish`` are plain lists for the scalar hot path; the
+    # index-space kernels read these array aliases.
+    assigned_arr = np.full(n, -1, dtype=np.intp)
+    finish_arr = np.zeros(n, dtype=np.float64)
+    proc_ready_arr = np.zeros(n_procs, dtype=np.float64)
+
+    def place(ti: int, proc: int, now: float) -> None:
+        del ready_keys[bisect_left(ready_keys, ti)]
+        assigned[ti] = proc
+        assigned_arr[ti] = proc
+        proc_occupant[proc] = ti
+        data_ready = now
+        for e in range(pred_indptr[ti], pred_indptr[ti + 1]):
+            pred = pred_ids[e]
+            src = assigned[pred]
+            send_time = finish[pred]
+            if src == proc:
+                arrival = send_time
+            else:
+                if pred_costs is None:
+                    arrival = send_time + 0.0
+                else:
+                    arrival = send_time + pred_costs.item(
+                        (e * p_sq_stride + src) * p_sq_stride + proc
+                    )
+                if record_trace:
+                    trace.message_records.append(
+                        MessageRecord(
+                            src_task=task_ids[pred],
+                            dst_task=task_ids[ti],
+                            src_proc=src,
+                            dst_proc=proc,
+                            weight=float(pred_weights[e]),
+                            send_time=send_time,
+                            arrival_time=float(arrival),
+                            route=tuple(machine.route(src, proc)),
+                        )
+                    )
+            if arrival > data_ready:
+                data_ready = arrival
+        start = max(now, data_ready, proc_task_free[proc])
+        fin = start + durations[ti] / speeds[proc]
+        proc_task_free[proc] = fin
+        finish[ti] = fin
+        finish_arr[ti] = fin
+        ctx_task_processor[task_ids[ti]] = proc
+        ctx_proc_ready[proc] = fin
+        proc_ready_arr[proc] = fin
+        if record_trace:
+            trace.task_records.append(
+                TaskRecord(
+                    task=task_ids[ti],
+                    processor=proc,
+                    assigned_time=now,
+                    start_time=float(start),
+                    finish_time=float(fin),
+                )
+            )
+        nonlocal seq
+        heapq.heappush(heap, (fin, seq, ti))
+        seq += 1
+
+    def run_epoch(now: float) -> None:
+        nonlocal n_packets
+        if not ready_keys:
+            return
+        idle = [p for p in range(n_procs) if proc_occupant[p] < 0]
+        if not idle:
+            return
+        ready = list(ready_keys)
+        assignment: Optional[Dict[int, ProcId]] = None
+        if has_fast:
+            proc_ready_arr[idle] = now
+            packet = FastPacket(
+                time=now,
+                ready=ready,
+                idle=idle,
+                scenario=scenario,
+                assigned_proc=assigned_arr,
+                finish_times=finish_arr,
+                proc_ready_time=proc_ready_arr,
+            )
+            assignment = policy.fast_assign(packet)
+            if assignment is not None:
+                _validate_fast_assignment(
+                    now, unfinished, assigned, proc_occupant, assignment
+                )
+        if assignment is None:
+            # Policy has no fast path: materialize the reference context.
+            nonlocal levels
+            if levels is None:
+                levels = graph.levels()
+            for p in idle:
+                ctx_proc_ready[p] = now
+            ctx = PacketContext(
+                time=now,
+                ready_tasks=[task_ids[k] for k in ready],
+                idle_processors=idle,
+                graph=graph,
+                machine=machine,
+                levels=levels,
+                task_processor=MappingProxyType(ctx_task_processor),
+                finish_times=MappingProxyType(ctx_finish),
+                comm_model=scenario.comm_model,
+                processor_ready_time=MappingProxyType(ctx_proc_ready),
+            )
+            id_assignment = policy.assign(ctx)
+            validate_assignment(ctx, id_assignment)
+            assignment = {
+                scenario.index_of[t]: p for t, p in id_assignment.items()
+            }
+        if assignment:
+            n_packets += 1
+        for ti, proc in assignment.items():
+            place(ti, proc, now)
+
+    # --- main loop ------------------------------------------------------ #
+    now = 0.0
+    run_epoch(now)
+    max_events = 10 * n + 100  # generous livelock backstop
+    processed = 0
+    while n_finished < n:
+        if not heap:
+            remaining = n - n_finished
+            raise SimulationError(
+                f"simulation stalled at t={now} with {remaining} unfinished tasks: "
+                f"the policy {policy!r} did not assign any ready task"
+            )
+        now, _, ti = heapq.heappop(heap)
+        batch = [ti]
+        while heap and heap[0][0] == now:
+            batch.append(heapq.heappop(heap)[2])
+        processed += len(batch)
+        if processed > max_events:  # pragma: no cover - defensive
+            raise SimulationError("event budget exceeded; possible livelock")
+        for ti in batch:
+            n_finished += 1
+            ctx_finish[task_ids[ti]] = finish[ti]
+            proc = assigned[ti]
+            if proc_occupant[proc] == ti:
+                proc_occupant[proc] = -1
+            for e in range(succ_indptr[ti], succ_indptr[ti + 1]):
+                succ = succ_ids[e]
+                unfinished[succ] -= 1
+                if unfinished[succ] == 0:
+                    insort(ready_keys, succ)
+        run_epoch(now)
+
+    makespan = float(max(finish)) if n else 0.0
+    return SimulationResult(
+        makespan=makespan,
+        total_work=graph.total_work(),
+        n_processors=n_procs,
+        graph_name=graph.name,
+        machine_name=machine.name,
+        policy_name=policy_name,
+        n_packets=n_packets,
+        task_processor={task_ids[i]: assigned[i] for i in range(n)},
+        trace=trace if record_trace else None,
+    )

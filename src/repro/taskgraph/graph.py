@@ -57,6 +57,11 @@ class TaskGraph:
         self._tasks: Dict[TaskId, Task] = {}
         self._succ: Dict[TaskId, Dict[TaskId, float]] = {}
         self._pred: Dict[TaskId, Dict[TaskId, float]] = {}
+        # Structural version counter: bumped by every mutation, lets
+        # ``validate()`` memoize its full scan (tasks are frozen records, so
+        # all mutations go through the methods below).
+        self._version = 0
+        self._validated_version = -1
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -78,6 +83,7 @@ class TaskGraph:
         self._tasks[task_id] = task
         self._succ[task_id] = {}
         self._pred[task_id] = {}
+        self._version += 1
         return task
 
     def add_dependency(self, u: TaskId, v: TaskId, comm: float = 0.0) -> None:
@@ -103,6 +109,7 @@ class TaskGraph:
         weight = check_non_negative("comm", comm)
         self._succ[u][v] = weight
         self._pred[v][u] = weight
+        self._version += 1
 
     def remove_dependency(self, u: TaskId, v: TaskId) -> None:
         """Remove the edge ``u -> v``; raise :class:`TaskGraphError` if absent."""
@@ -110,6 +117,7 @@ class TaskGraph:
             raise TaskGraphError(f"edge {u!r} -> {v!r} not present")
         del self._succ[u][v]
         del self._pred[v][u]
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     # Inspection
@@ -246,7 +254,14 @@ class TaskGraph:
         Invariants: the graph is acyclic, durations and weights are
         non-negative and finite, and the successor/predecessor maps are
         mutually consistent.
+
+        The scan is memoized against the structural version counter (tasks
+        are frozen records, so every mutation bumps it): validating the same
+        unchanged graph repeatedly — as paired policy comparisons and sweep
+        drivers do — costs O(1) after the first pass.
         """
+        if self._validated_version == self._version:
+            return
         self.topological_order()  # raises CycleError if cyclic
         for task in self._tasks.values():
             check_non_negative(f"duration of {task.task_id!r}", task.duration)
@@ -256,6 +271,7 @@ class TaskGraph:
                 raise TaskGraphError(
                     f"inconsistent adjacency for edge {u!r} -> {v!r}"
                 )
+        self._validated_version = self._version
 
     # ------------------------------------------------------------------ #
     # Derived quantities (delegating to repro.taskgraph.levels)

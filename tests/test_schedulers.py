@@ -237,3 +237,87 @@ class TestPoliciesEndToEnd:
         result = simulate(tree, two_proc_machine, HLFScheduler(), comm_model=ZeroCommModel())
         # 15 unit tasks on 2 processors, critical path 4: optimum is 8
         assert result.makespan == pytest.approx(8.0)
+
+
+class _QuadraticETFScheduler(ETFScheduler):
+    """The historical O(ready²·idle²·preds) ETF selection loop.
+
+    Kept verbatim (rescan every remaining pair per round, ``list.remove``)
+    as the differential oracle for the matrix kernel that replaced it: both
+    must pick the identical (task, processor) pairs, since earliest starts
+    are epoch-invariant and the matrix path scans the same lexicographic key
+    ``(est, -speed, -level, ti, pi)``.
+    """
+
+    def assign(self, ctx):
+        if ctx.n_idle == 0 or ctx.n_ready == 0:
+            return {}
+        remaining_tasks = list(ctx.ready_tasks)
+        remaining_procs = list(ctx.idle_processors)
+        speed_of = getattr(ctx.machine, "speed_of", None)
+        assignment = {}
+        while remaining_tasks and remaining_procs:
+            best = None
+            best_pair = None
+            for ti, task in enumerate(remaining_tasks):
+                for pi, proc in enumerate(remaining_procs):
+                    est = self._earliest_start(ctx, task, proc)
+                    speed = speed_of(proc) if speed_of is not None else 1.0
+                    key = (est, -speed, -ctx.levels[task], ti, pi)
+                    if best is None or key < best:
+                        best = key
+                        best_pair = (task, proc)
+            task, proc = best_pair
+            assignment[task] = proc
+            remaining_tasks.remove(task)
+            remaining_procs.remove(proc)
+        return assignment
+
+
+class TestETFMatrixKernelDifferential:
+    """The matrix-based ETF selection must replay the quadratic loop exactly."""
+
+    @staticmethod
+    def _machine(seed: int) -> Machine:
+        import numpy as np
+
+        kind = seed % 4
+        if kind == 0:
+            return Machine.hypercube(3)
+        if kind == 1:
+            return Machine.ring(9)
+        if kind == 2:
+            return Machine.bus(8)
+        rng = np.random.default_rng(seed)
+        topo = Machine.mesh(3, 3).topology
+        return Machine.mesh(
+            3, 3,
+            speeds=rng.uniform(0.5, 4.0, 9).tolist(),
+            link_weights={tuple(sorted(l)): float(rng.uniform(0.5, 3.0))
+                          for l in topo.links()},
+        )
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matrix_etf_matches_quadratic_etf(self, seed):
+        """20 randomized scenarios: identical assignments end to end."""
+        graph = gen.random_dag(
+            10 + 3 * seed, edge_probability=0.1 + 0.01 * (seed % 5),
+            mean_duration=10.0, mean_comm=4.0, seed=seed,
+        )
+        machine = self._machine(seed)
+        comm = ZeroCommModel() if seed % 5 == 4 else LinearCommModel()
+        old = simulate(graph, machine, _QuadraticETFScheduler(), comm_model=comm,
+                       record_trace=True, fast=False)
+        new = simulate(graph, machine, ETFScheduler(), comm_model=comm,
+                       record_trace=True, fast=False)
+        assert old.task_processor == new.task_processor
+        assert old.fingerprint() == new.fingerprint()
+
+    def test_matrix_etf_single_packet_matches_quadratic(self, diamond_graph, hypercube8):
+        """One synthetic packet with placed predecessors and ties."""
+        ctx = make_ctx(
+            diamond_graph, hypercube8,
+            ready=["b", "c"], idle=[0, 3, 5],
+            placed={"a": 1}, finish={"a": 2.0}, time=2.0,
+        )
+        assert ETFScheduler().assign(ctx) == _QuadraticETFScheduler().assign(ctx)
