@@ -11,7 +11,10 @@ This subpackage factors the annealing machinery out of the scheduling logic:
 * :mod:`~repro.annealing.problem`    — the abstract annealing problem
   (state copy, random move, cost),
 * :mod:`~repro.annealing.annealer`   — the annealing loop with optional
-  trajectory recording and elitist best-state tracking.
+  trajectory recording and elitist best-state tracking,
+* :mod:`~repro.annealing.replicas`   — multi-replica (multi-start) run
+  summaries: per-replica statistics, deterministic best-replica selection,
+  cross-replica dispersion for variance studies.
 """
 
 from repro.annealing.acceptance import (
@@ -30,6 +33,7 @@ from repro.annealing.cooling import (
 from repro.annealing.stopping import StoppingRule, StallStopping, MaxIterationsStopping, CombinedStopping
 from repro.annealing.problem import AnnealingProblem
 from repro.annealing.annealer import Annealer, AnnealingResult, AnnealingRecord
+from repro.annealing.replicas import ReplicaStats, best_replica_index, summarize_replicas
 
 __all__ = [
     "AcceptanceRule",
@@ -49,4 +53,7 @@ __all__ = [
     "Annealer",
     "AnnealingResult",
     "AnnealingRecord",
+    "ReplicaStats",
+    "best_replica_index",
+    "summarize_replicas",
 ]

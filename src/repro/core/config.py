@@ -19,6 +19,7 @@ from repro.utils.rng import SeedLike
 __all__ = ["SAConfig"]
 
 _INIT_CHOICES = ("hlf", "random", "empty")
+_WALK_CHOICES = ("array", "kernel")
 
 
 @dataclass
@@ -65,6 +66,20 @@ class SAConfig:
         default).  ``False`` selects the original per-call cost evaluation —
         bit-identical results, kept as the reference for equivalence tests
         and as an escape hatch for exotic cost models.
+    walk:
+        Which compiled walk drives the inner loop: ``"array"`` (default) —
+        the array-native walk of :mod:`repro.core.array_annealer` (flat
+        index state, pre-drawn per-temperature draw blocks); ``"kernel"`` —
+        the PR-1 fused dict walk, kept as the differential oracle.  Both are
+        bit-identical for a fixed seed; non-sigmoid acceptance rules fall
+        back to the kernel walk automatically.  Ignored when
+        ``compiled=False``.
+    replicas:
+        Number of independent annealing replicas per packet (multi-start
+        chains).  ``1`` (default) is the single-chain walk; ``B > 1`` runs B
+        lock-stepped replicas with per-replica child streams
+        (:func:`repro.utils.rng.split`) and commits the best replica's
+        mapping, reporting per-replica statistics for variance studies.
     """
 
     weight_balance: float = 0.5
@@ -79,6 +94,8 @@ class SAConfig:
     seed: SeedLike = None
     record_trajectories: bool = False
     compiled: bool = True
+    walk: str = "array"
+    replicas: int = 1
 
     def __post_init__(self) -> None:
         if self.weight_balance < 0 or self.weight_comm < 0:
@@ -111,6 +128,14 @@ class SAConfig:
             raise ConfigurationError(
                 f"initial_mapping must be one of {_INIT_CHOICES}, got {self.initial_mapping!r}"
             )
+        if self.walk not in _WALK_CHOICES:
+            raise ConfigurationError(
+                f"walk must be one of {_WALK_CHOICES}, got {self.walk!r}"
+            )
+        if self.replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be >= 1, got {self.replicas}"
+            )
 
     def moves_for_packet(self, n_ready: int, n_idle: int) -> int:
         """Inner-loop proposals per temperature for a packet of the given size.
@@ -127,6 +152,10 @@ class SAConfig:
     def with_weights(self, weight_balance: float, weight_comm: float) -> "SAConfig":
         """Return a copy with different cost weights (used by the weight ablation)."""
         return replace(self, weight_balance=weight_balance, weight_comm=weight_comm)
+
+    def with_replicas(self, replicas: int) -> "SAConfig":
+        """Return a copy annealing *replicas* multi-start chains per packet."""
+        return replace(self, replicas=replicas)
 
     @classmethod
     def paper_defaults(cls, seed: SeedLike = None) -> "SAConfig":

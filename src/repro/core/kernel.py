@@ -153,6 +153,11 @@ class PacketKernel:
     weight_balance, weight_comm:
         The mixing weights ``w_b`` and ``w_c`` of equation 6 (validated by the
         caller, typically :class:`~repro.core.cost.PacketCostFunction`).
+    comm_table:
+        Optional prebuilt ``(n_ready, n_idle)`` equation-4 table.  ``None``
+        (the default) builds it with :func:`~repro.comm.model.comm_cost_table`;
+        a caller passing one (see :meth:`from_tables`) guarantees its entries
+        are bit-identical to that construction.
     """
 
     __slots__ = (
@@ -182,6 +187,7 @@ class PacketKernel:
         comm_model: Optional[CommunicationModel] = None,
         weight_balance: float = 0.5,
         weight_comm: float = 0.5,
+        comm_table=None,
     ) -> None:
         comm_model = comm_model if comm_model is not None else LinearCommModel()
         self.packet = packet
@@ -204,11 +210,13 @@ class PacketKernel:
             self.balance_rows = [
                 [lvl * s for s in self.speeds] for lvl in self.levels
             ]
-        placements = [
-            tuple((pred_proc, w) for _, pred_proc, w in packet.predecessor_placement.get(t, ()))
-            for t in self.tasks
-        ]
-        self.comm_table = comm_cost_table(comm_model, machine, self.procs, placements)
+        if comm_table is None:
+            placements = [
+                tuple((pred_proc, w) for _, pred_proc, w in packet.predecessor_placement.get(t, ()))
+                for t in self.tasks
+            ]
+            comm_table = comm_cost_table(comm_model, machine, self.procs, placements)
+        self.comm_table = comm_table
         # Nested plain-float lists: scalar indexing is faster than ndarray
         # item access in the per-proposal hot loop, and ``tolist`` preserves
         # the float64 values exactly.
@@ -218,6 +226,35 @@ class PacketKernel:
         self.weight_comm = float(weight_comm)
         self.balance_range = compute_balance_range(packet, self.speeds)
         self.comm_range = compute_comm_range(packet, machine, comm_model)
+
+    @classmethod
+    def from_tables(
+        cls,
+        packet: AnnealingPacket,
+        machine,
+        comm_model: CommunicationModel,
+        comm_table,
+        weight_balance: float = 0.5,
+        weight_comm: float = 0.5,
+    ) -> "PacketKernel":
+        """Build a kernel around an externally-built communication table.
+
+        *comm_table* is the ``(n_ready, n_idle)`` equation-4 cost table,
+        typically gathered from a compiled scenario's per-edge tensor
+        (:func:`repro.core.array_annealer.compile_fast_packet`).  The caller
+        guarantees its entries are bit-identical to what
+        :func:`~repro.comm.model.comm_cost_table` would produce; everything
+        else (levels, speeds, balance rows, normalization ranges) is derived
+        by the regular constructor.
+        """
+        return cls(
+            packet,
+            machine,
+            comm_model=comm_model,
+            weight_balance=weight_balance,
+            weight_comm=weight_comm,
+            comm_table=comm_table,
+        )
 
     # ------------------------------------------------------------------ #
     # Index-space view (what the annealer runs on)

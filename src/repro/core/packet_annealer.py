@@ -18,7 +18,7 @@ uncompiled runs accept exactly the same moves for a fixed seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Hashable, List, Optional
 
 import math
@@ -26,14 +26,16 @@ import math
 from repro.annealing.acceptance import BoltzmannSigmoidAcceptance
 from repro.annealing.annealer import Annealer, AnnealingResult
 from repro.annealing.problem import AnnealingProblem
+from repro.annealing.replicas import ReplicaStats, best_replica_index
 from repro.annealing.stopping import CombinedStopping, MaxIterationsStopping, StallStopping
 from repro.comm.model import CommunicationModel
+from repro.core.array_annealer import anneal_array, anneal_replicas_batched
 from repro.core.config import SAConfig
 from repro.core.cost import CostBreakdown, PacketCostFunction
 from repro.core.kernel import PacketKernel
 from repro.core.moves import _DROP_PROBABILITY, propose_move
 from repro.core.packet import AnnealingPacket, PacketMapping
-from repro.utils.rng import StreamDraws, as_rng
+from repro.utils.rng import StreamDraws, as_rng, split
 
 __all__ = [
     "PacketMappingProblem",
@@ -66,6 +68,13 @@ class PacketAnnealingOutcome:
     ``initial_cost`` the cost of the seed mapping, ``breakdown`` the component
     costs of the best mapping, and ``trajectory`` the per-proposal component
     costs when trajectory recording was requested.
+
+    For batched runs (``SAConfig.replicas > 1``), ``assignment``,
+    ``best_cost``, ``initial_cost`` and ``n_temperature_steps`` describe the
+    **winning replica**, ``n_proposals``/``n_accepted`` total the work across
+    all replicas, ``best_replica`` names the winner and ``replica_stats``
+    carries one :class:`~repro.annealing.replicas.ReplicaStats` per replica
+    (the variance-study payload); both are ``None`` for single-chain runs.
     """
 
     assignment: Dict[TaskId, ProcId]
@@ -76,6 +85,8 @@ class PacketAnnealingOutcome:
     n_accepted: int
     n_temperature_steps: int
     trajectory: List[TrajectoryPoint] = field(default_factory=list)
+    best_replica: Optional[int] = None
+    replica_stats: Optional[List[ReplicaStats]] = None
 
     @property
     def improvement(self) -> float:
@@ -372,6 +383,35 @@ class PacketAnnealer:
     def __init__(self, config: Optional[SAConfig] = None) -> None:
         self.config = config or SAConfig()
 
+    # ------------------------------------------------------------------ #
+    def _build_annealer(self, packet: AnnealingPacket) -> Annealer:
+        """The generic annealer configured for one packet (fresh stopping state)."""
+        cfg = self.config
+        return Annealer(
+            acceptance=cfg.acceptance,
+            cooling=cfg.cooling,
+            stopping=CombinedStopping(
+                [
+                    StallStopping(patience=cfg.stall_patience),
+                    MaxIterationsStopping(max_iterations=cfg.max_temperature_steps),
+                ]
+            ),
+            moves_per_temperature=cfg.moves_for_packet(packet.n_ready, packet.n_idle),
+            initial_temperature=cfg.initial_temperature,
+            record_trajectory=False,
+        )
+
+    def _fused_walk(self, kernel: PacketKernel, problem, annealer: Annealer, rng) -> AnnealingResult:
+        """The compiled inner walk: array tier by default, kernel tier as the
+        configured alternative (and the automatic fallback for non-sigmoid
+        acceptance rules, which the array walk does not inline)."""
+        if (
+            self.config.walk == "array"
+            and type(annealer.acceptance) is BoltzmannSigmoidAcceptance
+        ):
+            return anneal_array(kernel, problem, annealer, rng)
+        return _anneal_indexed(kernel, problem, annealer, rng)
+
     def anneal(
         self,
         packet: AnnealingPacket,
@@ -400,6 +440,8 @@ class PacketAnnealer:
         cfg = self.config
         rng = as_rng(rng)
         record = cfg.record_trajectories if record_trajectory is None else record_trajectory
+        if cfg.replicas > 1:
+            return self._anneal_replicated(packet, machine, comm_model, rng, record)
 
         cost_fn = PacketCostFunction(
             packet,
@@ -446,23 +488,11 @@ class PacketAnnealer:
                     )
                 )
 
-        annealer = Annealer(
-            acceptance=cfg.acceptance,
-            cooling=cfg.cooling,
-            stopping=CombinedStopping(
-                [
-                    StallStopping(patience=cfg.stall_patience),
-                    MaxIterationsStopping(max_iterations=cfg.max_temperature_steps),
-                ]
-            ),
-            moves_per_temperature=cfg.moves_for_packet(packet.n_ready, packet.n_idle),
-            initial_temperature=cfg.initial_temperature,
-            record_trajectory=False,
-        )
+        annealer = self._build_annealer(packet)
         if kernel is not None and callback is None:
             # Fused fast path: same walk, same RNG stream, no per-proposal
             # copies or scalar numpy draws.
-            result = _anneal_indexed(kernel, problem, annealer, as_rng(run_rng))
+            result = self._fused_walk(kernel, problem, annealer, as_rng(run_rng))
         else:
             result = annealer.run(problem, seed=run_rng, callback=callback)
 
@@ -482,6 +512,163 @@ class PacketAnnealer:
             n_accepted=result.n_accepted,
             n_temperature_steps=result.n_iterations,
             trajectory=trajectory,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Prebuilt-kernel entry (the fast-engine path)
+    # ------------------------------------------------------------------ #
+    def anneal_compiled(
+        self,
+        packet: AnnealingPacket,
+        kernel: PacketKernel,
+        rng=None,
+    ) -> PacketAnnealingOutcome:
+        """Anneal over a prebuilt kernel (no trajectory recording).
+
+        The entry point of :meth:`SAScheduler.fast_assign
+        <repro.core.sa_scheduler.SAScheduler.fast_assign>`: the caller
+        already lowered the epoch into *packet* + *kernel*
+        (:func:`repro.core.array_annealer.compile_fast_packet`), so this
+        skips the :class:`~repro.core.cost.PacketCostFunction` build and runs
+        the same split-rng / seed-cost / fused-walk sequence as
+        :meth:`anneal` — bit-identical outcomes when the tables are.
+        """
+        cfg = self.config
+        rng = as_rng(rng)
+        if cfg.replicas > 1:
+            return self._anneal_compiled_replicas(packet, kernel, split(rng, cfg.replicas))
+        problem = PacketMappingProblem(
+            kernel.index_packet(), kernel, initial_mapping=cfg.initial_mapping
+        )
+        annealer = self._build_annealer(packet)
+        seed_rng, run_rng = _split_rng(rng)
+        initial_cost = problem.cost(problem.initial_state(seed_rng))
+        result = self._fused_walk(kernel, problem, annealer, as_rng(run_rng))
+        best_mapping = result.best_state
+        return PacketAnnealingOutcome(
+            assignment=kernel.assignment_to_ids(best_mapping),
+            best_cost=result.best_cost,
+            initial_cost=initial_cost,
+            breakdown=_kernel_breakdown(kernel, best_mapping),
+            n_proposals=result.n_proposals,
+            n_accepted=result.n_accepted,
+            n_temperature_steps=result.n_iterations,
+            trajectory=[],
+        )
+
+    # ------------------------------------------------------------------ #
+    # Batched multi-replica annealing
+    # ------------------------------------------------------------------ #
+    def _anneal_replicated(
+        self,
+        packet: AnnealingPacket,
+        machine,
+        comm_model,
+        rng,
+        record: bool,
+    ) -> PacketAnnealingOutcome:
+        """Anneal ``cfg.replicas`` multi-start chains and commit the best.
+
+        Compiled, non-recording configurations run the vectorized lock-step
+        engine over one shared kernel; the reference path and
+        trajectory-recording runs fall back to one full scalar anneal per
+        child stream (same children, same per-replica results, just slower).
+        """
+        cfg = self.config
+        children = split(rng, cfg.replicas)
+        if cfg.compiled and not record:
+            cost_fn = PacketCostFunction(
+                packet,
+                machine,
+                comm_model=comm_model,
+                weight_balance=cfg.weight_balance,
+                weight_comm=cfg.weight_comm,
+                compiled=True,
+            )
+            return self._anneal_compiled_replicas(packet, cost_fn.kernel, children)
+        single = PacketAnnealer(replace(cfg, replicas=1))
+        outcomes = [
+            single.anneal(
+                packet, machine, comm_model=comm_model, rng=child, record_trajectory=record
+            )
+            for child in children
+        ]
+        stats = [
+            ReplicaStats(
+                replica=b,
+                best_cost=o.best_cost,
+                initial_cost=o.initial_cost,
+                final_cost=None,
+                n_proposals=o.n_proposals,
+                n_accepted=o.n_accepted,
+                n_temperature_steps=o.n_temperature_steps,
+            )
+            for b, o in enumerate(outcomes)
+        ]
+        best = best_replica_index([o.best_cost for o in outcomes])
+        winner = outcomes[best]
+        return PacketAnnealingOutcome(
+            assignment=winner.assignment,
+            best_cost=winner.best_cost,
+            initial_cost=winner.initial_cost,
+            breakdown=winner.breakdown,
+            n_proposals=sum(o.n_proposals for o in outcomes),
+            n_accepted=sum(o.n_accepted for o in outcomes),
+            n_temperature_steps=winner.n_temperature_steps,
+            trajectory=winner.trajectory,
+            best_replica=best,
+            replica_stats=stats,
+        )
+
+    def _anneal_compiled_replicas(
+        self,
+        packet: AnnealingPacket,
+        kernel: PacketKernel,
+        children,
+    ) -> PacketAnnealingOutcome:
+        """Lock-step replicas over one shared kernel (the batched hot path)."""
+        cfg = self.config
+        problem = PacketMappingProblem(
+            kernel.index_packet(), kernel, initial_mapping=cfg.initial_mapping
+        )
+        annealer = self._build_annealer(packet)
+        run_rngs = []
+        initial_costs = []
+        for child in children:
+            seed_rng, run_rng = _split_rng(child)
+            initial_costs.append(problem.cost(problem.initial_state(seed_rng)))
+            run_rngs.append(as_rng(run_rng))
+        if cfg.walk == "array":
+            results, trajs = anneal_replicas_batched(kernel, problem, annealer, run_rngs)
+        else:
+            # Kernel-walk oracle: one scalar fused walk per replica.
+            results = [_anneal_indexed(kernel, problem, annealer, r) for r in run_rngs]
+            trajs = [[] for _ in results]
+        stats = [
+            ReplicaStats(
+                replica=b,
+                best_cost=results[b].best_cost,
+                initial_cost=initial_costs[b],
+                final_cost=results[b].final_cost,
+                n_proposals=results[b].n_proposals,
+                n_accepted=results[b].n_accepted,
+                n_temperature_steps=results[b].n_iterations,
+                temperature_trajectory=tuple(trajs[b]),
+            )
+            for b in range(len(results))
+        ]
+        best = best_replica_index([r.best_cost for r in results])
+        winner = results[best]
+        return PacketAnnealingOutcome(
+            assignment=kernel.assignment_to_ids(winner.best_state),
+            best_cost=winner.best_cost,
+            initial_cost=initial_costs[best],
+            breakdown=_kernel_breakdown(kernel, winner.best_state),
+            n_proposals=sum(r.n_proposals for r in results),
+            n_accepted=sum(r.n_accepted for r in results),
+            n_temperature_steps=winner.n_iterations,
+            best_replica=best,
+            replica_stats=stats,
         )
 
 

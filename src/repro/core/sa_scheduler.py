@@ -10,9 +10,10 @@ Figure 1 reproduction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Hashable, List, Optional
 
+from repro.core.array_annealer import compile_fast_packet
 from repro.core.config import SAConfig
 from repro.core.packet import AnnealingPacket
 from repro.core.packet_annealer import PacketAnnealer, PacketAnnealingOutcome
@@ -77,6 +78,35 @@ class SAScheduler(SchedulingPolicy):
         self.packet_stats = []
         self.packet_outcomes = []
 
+    def with_replicas(self, replicas: int) -> "SAScheduler":
+        """A new scheduler annealing *replicas* multi-start chains per packet.
+
+        Fresh state and a fresh RNG; the original scheduler is untouched.
+        The hook :class:`~repro.sim.engine.Simulator` uses for its
+        ``replicas=`` knob.
+        """
+        return SAScheduler(replace(self.config, replicas=replicas))
+
+    # ------------------------------------------------------------------ #
+    def _record_outcome(
+        self, time: float, packet: AnnealingPacket, outcome: PacketAnnealingOutcome
+    ) -> None:
+        self.packet_stats.append(
+            PacketStats(
+                time=time,
+                n_ready=packet.n_ready,
+                n_idle=packet.n_idle,
+                n_assigned=len(outcome.assignment),
+                n_proposals=outcome.n_proposals,
+                n_accepted=outcome.n_accepted,
+                n_temperature_steps=outcome.n_temperature_steps,
+                initial_cost=outcome.initial_cost,
+                best_cost=outcome.best_cost,
+            )
+        )
+        if self.config.record_trajectories:
+            self.packet_outcomes.append(outcome)
+
     # ------------------------------------------------------------------ #
     def assign(self, ctx: PacketContext) -> Dict[TaskId, ProcId]:
         if ctx.n_idle == 0 or ctx.n_ready == 0:
@@ -98,21 +128,39 @@ class SAScheduler(SchedulingPolicy):
             # task on the first idle processor in that case.
             top_task = max(ctx.ready_tasks, key=lambda t: ctx.levels[t])
             outcome.assignment = {top_task: ctx.idle_processors[0]}
-        self.packet_stats.append(
-            PacketStats(
-                time=ctx.time,
-                n_ready=packet.n_ready,
-                n_idle=packet.n_idle,
-                n_assigned=len(outcome.assignment),
-                n_proposals=outcome.n_proposals,
-                n_accepted=outcome.n_accepted,
-                n_temperature_steps=outcome.n_temperature_steps,
-                initial_cost=outcome.initial_cost,
-                best_cost=outcome.best_cost,
-            )
+        self._record_outcome(ctx.time, packet, outcome)
+        return outcome.assignment
+
+    # ------------------------------------------------------------------ #
+    def fast_assign(self, packet) -> Optional[Dict[int, ProcId]]:
+        """Index-space epoch assignment over the compiled scenario tables.
+
+        Lowers the :class:`~repro.sim.compile.FastPacket` into an annealing
+        packet + kernel (:func:`~repro.core.array_annealer.compile_fast_packet`
+        gathers the equation-4 table from the scenario's per-edge tensor) and
+        runs the same spawn / split / walk sequence as :meth:`assign`, so a
+        fast-engine run commits bit-identical mappings and consumes the
+        scheduler RNG identically.  Declines (before touching any stochastic
+        state) for the reference path (``compiled=False``) and for
+        trajectory-recording runs, which need the materialized context.
+        """
+        cfg = self.config
+        if not cfg.compiled or cfg.record_trajectories:
+            return None
+        if packet.n_idle == 0 or packet.n_ready == 0:
+            return {}
+        apacket, kernel = compile_fast_packet(
+            packet, cfg.weight_balance, cfg.weight_comm
         )
-        if self.config.record_trajectories:
-            self.packet_outcomes.append(outcome)
+        packet_rng = spawn_rng(self._rng, 1)[0]
+        outcome = self._annealer.anneal_compiled(apacket, kernel, packet_rng)
+        if not outcome.assignment:
+            # Progress guarantee, mirroring assign(): highest-level ready
+            # task (first in ready order on ties) onto the first idle slot.
+            levels = packet.scenario.levels_list
+            top_task = max(packet.ready, key=lambda ti: levels[ti])
+            outcome.assignment = {top_task: packet.idle[0]}
+        self._record_outcome(packet.time, apacket, outcome)
         return outcome.assignment
 
     # ------------------------------------------------------------------ #

@@ -28,6 +28,20 @@ the speed- and link-weight-aware paths of every scheduler::
 
     python -m repro.experiments.sweep --hetero --jobs 4 --out hetero.json
 
+``--replicas B`` anneals every SA packet as B lock-stepped multi-start
+chains (batched array engine, per-replica child RNG streams) and commits the
+best replica — e.g. a 16-replica SA study over the 200-task family::
+
+    python -m repro.experiments.sweep --policies SA --families dag200 \
+        --replicas 16 --jobs 4 --out sa_replicas.json
+
+Workers memoize the deterministic graph/machine builders per process, so the
+compiled-scenario cache (``sim/compile.py``) hits across the specs a worker
+runs back to back; the report's ``meta.compile_cache`` counts those
+hits/misses and ``meta.n_fallback_epochs`` counts fast-engine epochs that had
+to materialize a reference ``PacketContext`` (0 when every policy ran through
+an index-space kernel).
+
 The module also exposes :func:`parallel_map`, the pool helper the other
 experiment drivers (e.g. Table 2 with ``--jobs``) reuse.
 """
@@ -51,6 +65,7 @@ from repro.schedulers.fifo import FIFOScheduler
 from repro.schedulers.hlf import HLFScheduler
 from repro.schedulers.lpt import LPTScheduler
 from repro.schedulers.random_policy import RandomScheduler
+from repro.sim.compile import scenario_cache_stats
 from repro.sim.engine import simulate
 from repro.taskgraph.generators import layered_random, random_dag
 from repro.utils.tabulate import format_table
@@ -201,6 +216,40 @@ POLICY_BUILDERS: Dict[str, Callable[[int], "object"]] = {
 # Grid construction and the per-scenario worker
 # --------------------------------------------------------------------------- #
 
+#: Per-worker scenario-building caches.  Workers used to rebuild the graph
+#: and machine for every spec, which defeated the compiled-scenario memo
+#: (it is keyed on object identity): paired specs — the same (family, seed,
+#: machine) under several policies — recompiled the same arrays per spec.
+#: Caching the deterministic builders per process makes the PR-3 memo hit
+#: across specs inside a worker; the hit/miss deltas are reported per row
+#: and aggregated into the sweep meta.  Bounded FIFO so giant custom grids
+#: cannot grow a worker without limit.
+_GRAPH_CACHE: Dict[tuple, object] = {}
+_MACHINE_CACHE: Dict[str, Machine] = {}
+_WORKER_CACHE_LIMIT = 64
+
+
+def _cached_graph(family: str, seed: int):
+    key = (family, seed)
+    graph = _GRAPH_CACHE.get(key)
+    if graph is None:
+        graph = GRAPH_FAMILIES[family](seed)
+        while len(_GRAPH_CACHE) >= _WORKER_CACHE_LIMIT:
+            _GRAPH_CACHE.pop(next(iter(_GRAPH_CACHE)))
+        _GRAPH_CACHE[key] = graph
+    return graph
+
+
+def _cached_machine(name: str) -> Machine:
+    machine = _MACHINE_CACHE.get(name)
+    if machine is None:
+        machine = MACHINE_BUILDERS[name]()
+        while len(_MACHINE_CACHE) >= _WORKER_CACHE_LIMIT:
+            _MACHINE_CACHE.pop(next(iter(_MACHINE_CACHE)))
+        _MACHINE_CACHE[name] = machine
+    return machine
+
+
 def build_grid(
     policies: Sequence[str] = ("HLF", "ETF", "SA"),
     machines: Sequence[str] = ("hypercube8", "ring9"),
@@ -210,14 +259,20 @@ def build_grid(
     comm: Sequence[bool] = (True,),
     fidelity: str = "latency",
     fast: Optional[bool] = None,
+    replicas: Optional[int] = None,
 ) -> List[dict]:
     """Expand the scenario grid into a list of picklable spec dicts.
 
     Each seed index produces one graph instance per family (``graph_seed =
     base_seed + index``); every policy runs on the same instances so the
     comparison is paired.  Unknown registry keys raise ``KeyError`` early,
-    before any worker starts.
+    before any worker starts.  *replicas* applies batched multi-start
+    annealing to the SA rows only (the other policies have no replica
+    notion); like unknown keys, an invalid count fails here rather than as
+    one error row per SA spec.
     """
+    if replicas is not None and replicas < 1:
+        raise ValueError(f"replicas must be >= 1 or None, got {replicas}")
     for name in policies:
         if name not in POLICY_BUILDERS:
             raise KeyError(f"unknown policy {name!r}; known: {sorted(POLICY_BUILDERS)}")
@@ -243,6 +298,9 @@ def build_grid(
                                 "with_comm": bool(with_comm),
                                 "fidelity": fidelity,
                                 "fast": fast,
+                                "replicas": (
+                                    replicas if policy.startswith("SA") else None
+                                ),
                             }
                         )
     return grid
@@ -256,9 +314,10 @@ def run_scenario(spec: dict) -> dict:
     """
     row = dict(spec)
     start = time.perf_counter()
+    cache_before = scenario_cache_stats()
     try:
-        graph = GRAPH_FAMILIES[spec["family"]](spec["graph_seed"])
-        machine = MACHINE_BUILDERS[spec["machine"]]()
+        graph = _cached_graph(spec["family"], spec["graph_seed"])
+        machine = _cached_machine(spec["machine"])
         policy = POLICY_BUILDERS[spec["policy"]](spec["policy_seed"])
         comm_model = LinearCommModel() if spec["with_comm"] else ZeroCommModel()
         result = simulate(
@@ -271,17 +330,23 @@ def run_scenario(spec: dict) -> dict:
             # None = auto: latency statistical runs go through the compiled
             # fast engine (bit-identical); False pins the object engine.
             fast=spec.get("fast"),
+            replicas=spec.get("replicas"),
         )
         row.update(
             makespan=result.makespan,
             speedup=result.speedup(),
             n_tasks=graph.n_tasks,
             n_packets=result.n_packets,
+            n_fallback_epochs=result.n_fallback_epochs,
             error=None,
         )
     except Exception as exc:  # pragma: no cover - defensive
         row.update(makespan=None, speedup=None, n_tasks=None, n_packets=None,
+                   n_fallback_epochs=None,
                    error=f"{type(exc).__name__}: {exc}")
+    cache_after = scenario_cache_stats()
+    row["compile_cache_hits"] = cache_after["hits"] - cache_before["hits"]
+    row["compile_cache_misses"] = cache_after["misses"] - cache_before["misses"]
     row["runtime_s"] = time.perf_counter() - start
     return row
 
@@ -347,6 +412,7 @@ def run_sweep(
     jobs: int = 1,
     out: Optional[str] = None,
     fast: Optional[bool] = None,
+    replicas: Optional[int] = None,
 ) -> dict:
     """Run the whole scenario grid and return (optionally write) the report.
 
@@ -357,7 +423,13 @@ def run_sweep(
     :class:`~repro.sim.engine.Simulator` (``None`` — the default — lets
     latency runs use the compiled fast engine; ``False`` pins the object
     engine, e.g. for engine benchmarking); either way the numbers are
-    bit-for-bit identical.
+    bit-for-bit identical.  *replicas* turns on batched multi-start
+    annealing for the SA rows (``--replicas`` on the CLI).
+
+    ``meta`` also surfaces how the work was produced: the total
+    compiled-scenario cache hits/misses across workers (the per-worker memo
+    added in this module) and the total fast-engine fallback epochs (0 when
+    every policy ran through an index-space kernel).
     """
     grid = build_grid(
         policies=policies,
@@ -368,6 +440,7 @@ def run_sweep(
         comm=comm,
         fidelity=fidelity,
         fast=fast,
+        replicas=replicas,
     )
     wall_start = time.perf_counter()
     rows = parallel_map(run_scenario, grid, jobs=jobs)
@@ -387,6 +460,14 @@ def run_sweep(
             "comm": [bool(c) for c in comm],
             "fidelity": fidelity,
             "engine": {None: "auto", True: "fast", False: "object"}[fast],
+            "replicas": replicas,
+            "n_fallback_epochs": sum(
+                r.get("n_fallback_epochs") or 0 for r in rows
+            ),
+            "compile_cache": {
+                "hits": sum(r.get("compile_cache_hits", 0) for r in rows),
+                "misses": sum(r.get("compile_cache_misses", 0) for r in rows),
+            },
         },
         "results": rows,
         "aggregates": _aggregate(rows),
@@ -464,6 +545,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="simulator fidelity",
     )
     parser.add_argument(
+        "--replicas", type=int, default=None,
+        help=(
+            "batched multi-start annealing for the SA rows: anneal this many "
+            "lock-stepped replicas per packet (per-replica child RNG streams) "
+            "and commit the best replica's mapping; other policies are "
+            "unaffected (default: single-chain SA)"
+        ),
+    )
+    parser.add_argument(
         "--engine", choices=["auto", "fast", "object"], default="auto",
         help=(
             "simulation engine: 'auto' (default) compiles latency scenarios "
@@ -476,6 +566,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     comm = {"with": (True,), "without": (False,), "both": (False, True)}[args.comm]
+    if args.replicas is not None and args.replicas < 1:
+        parser.error(f"--replicas must be >= 1, got {args.replicas}")
     if args.hetero and args.machines is not None:
         parser.error("--hetero selects the heterogeneous machine grid; drop --machines "
                      "or name hetero-* machines explicitly without --hetero")
@@ -498,6 +590,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         out=args.out,
         fast={"auto": None, "fast": True, "object": False}[args.engine],
+        replicas=args.replicas,
     )
     print(format_sweep_report(report))
     print(f"report written to {args.out}")

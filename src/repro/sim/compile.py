@@ -42,7 +42,13 @@ from repro.comm.model import CommunicationModel, LinearCommModel, ZeroCommModel
 from repro.machine.machine import Machine
 from repro.taskgraph.graph import TaskGraph
 
-__all__ = ["CompiledScenario", "FastPacket", "compile_scenario", "supports_comm_model"]
+__all__ = [
+    "CompiledScenario",
+    "FastPacket",
+    "compile_scenario",
+    "supports_comm_model",
+    "scenario_cache_stats",
+]
 
 TaskId = Hashable
 
@@ -64,6 +70,15 @@ def supports_comm_model(comm_model: CommunicationModel) -> bool:
 #: without bound.
 _SCENARIO_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 _SCENARIO_CACHE_PER_GRAPH = 8
+
+#: Process-wide memo-hit counters.  Sweep workers snapshot them around each
+#: scenario so per-run (and per-worker-aggregate) compile reuse is reportable.
+_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def scenario_cache_stats() -> Dict[str, int]:
+    """A copy of this process's compiled-scenario memo counters."""
+    return dict(_CACHE_STATS)
 
 
 @dataclass
@@ -190,7 +205,9 @@ def compile_scenario(
     key = (type(comm_model), getattr(graph, "_version", None), id(machine))
     entry = cache.get(key)
     if entry is not None and entry[0] is machine:
+        _CACHE_STATS["hits"] += 1
         return entry[1]
+    _CACHE_STATS["misses"] += 1
     task_ids = graph.tasks
     index_of = {t: i for i, t in enumerate(task_ids)}
     n = len(task_ids)

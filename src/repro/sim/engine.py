@@ -96,6 +96,11 @@ class Simulator:
         the fast engine (raising :class:`SimulationError` when the scenario
         is unsupported, e.g. contention fidelity) and also allows it to
         record a trace; ``False`` opts out entirely.
+    replicas:
+        When given, ask the policy for a multi-replica variant of itself
+        (``policy.with_replicas(replicas)``, e.g. SA's batched multi-start
+        annealing) and run that instead.  ``None`` leaves the policy as
+        passed; policies without the hook raise :class:`SimulationError`.
     """
 
     def __init__(
@@ -107,9 +112,20 @@ class Simulator:
         fidelity: str = "latency",
         record_trace: bool = True,
         fast: Optional[bool] = None,
+        replicas: Optional[int] = None,
     ) -> None:
         if fidelity not in _FIDELITIES:
             raise SimulationError(f"fidelity must be one of {_FIDELITIES}, got {fidelity!r}")
+        if replicas is not None:
+            if replicas < 1:
+                raise SimulationError(f"replicas must be >= 1, got {replicas}")
+            with_replicas = getattr(policy, "with_replicas", None)
+            if with_replicas is None:
+                raise SimulationError(
+                    f"policy {policy!r} does not support replicas= "
+                    "(no with_replicas hook; only SA anneals multi-start chains)"
+                )
+            policy = with_replicas(replicas)
         graph.validate()
         self.graph = graph
         self.machine = machine
@@ -402,6 +418,7 @@ def simulate(
     fidelity: str = "latency",
     record_trace: bool = True,
     fast: Optional[bool] = None,
+    replicas: Optional[int] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it once."""
     return Simulator(
@@ -412,4 +429,5 @@ def simulate(
         fidelity=fidelity,
         record_trace=record_trace,
         fast=fast,
+        replicas=replicas,
     ).run()

@@ -5,12 +5,17 @@ entirely in index space over a :class:`~repro.sim.compile.CompiledScenario`:
 tasks are dense integers, simulation state lives in flat arrays
 (``unfinished_preds``, ``finish_times``, ``assigned_proc``, per-processor
 free times), the event set is a plain ``(time, seq, task)`` heap, and every
-equation-4 message cost is a precompiled table lookup.  Policies that
-implement :meth:`~repro.schedulers.base.SchedulingPolicy.fast_assign` (ETF,
-HLF, LPT, FIFO, Random) are driven through index-space kernels; any other
-policy (notably SA, whose annealer is already compiled) receives a
+equation-4 message cost is a precompiled table lookup.  Every built-in
+policy — ETF, HLF, LPT, FIFO, Random, and SA through its array-annealer
+kernel — implements
+:meth:`~repro.schedulers.base.SchedulingPolicy.fast_assign` and is driven
+through index-space kernels; a policy without one (custom policies, or SA's
+reference/trajectory configurations) receives a
 :class:`~repro.schedulers.base.PacketContext` materialized lazily from
-incrementally-maintained dictionaries — no per-epoch O(n) copies either way.
+incrementally-maintained dictionaries.  Those fallback epochs are counted
+(``SimulationResult.n_fallback_epochs``) and logged once per run at DEBUG
+level, so a silently slow path is visible in sweep metadata instead of just
+in the wall clock.
 
 Every arithmetic operation mirrors the reference engine's float operation
 order, so a fast run is **bit-for-bit identical** to a reference run: same
@@ -27,6 +32,7 @@ an equivalence trace; ``fast=False`` opts out).
 from __future__ import annotations
 
 import heapq
+import logging
 import operator
 from bisect import bisect_left, insort
 from types import MappingProxyType
@@ -45,6 +51,8 @@ __all__ = ["run_compiled"]
 
 TaskId = Hashable
 ProcId = int
+
+_LOGGER = logging.getLogger(__name__)
 
 
 def _validate_fast_assignment(
@@ -133,6 +141,7 @@ def run_compiled(
     heap: List[tuple] = []
     seq = 0
     n_packets = 0
+    n_fallback = 0
     trace = ExecutionTrace()
 
     # The object-path fallback (policies without ``fast_assign``, e.g. SA —
@@ -233,8 +242,18 @@ def run_compiled(
                     now, unfinished, assigned, proc_occupant, assignment
                 )
         if assignment is None:
-            # Policy has no fast path: materialize the reference context.
-            nonlocal levels
+            # Policy has no fast path (or declined this run's configuration):
+            # materialize the reference context.  Counted so silent slow
+            # paths show up in result/sweep metadata.
+            nonlocal levels, n_fallback
+            n_fallback += 1
+            if n_fallback == 1:
+                _LOGGER.debug(
+                    "policy %s has no fast path; materializing PacketContext "
+                    "(first fallback at t=%s)",
+                    policy_name,
+                    now,
+                )
             if levels is None:
                 levels = graph.levels()
             for p in idle:
@@ -304,4 +323,5 @@ def run_compiled(
         n_packets=n_packets,
         task_processor={task_ids[i]: assigned[i] for i in range(n)},
         trace=trace if record_trace else None,
+        n_fallback_epochs=n_fallback,
     )

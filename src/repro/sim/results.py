@@ -40,6 +40,13 @@ class SimulationResult:
         Number of assignment epochs at which at least one task was placed.
     task_processor:
         Final placement of every task.
+    n_fallback_epochs:
+        Fast-engine runs only: number of epochs served through the
+        materialized-context fallback because the policy had no index-space
+        fast path (0 for fully-kernelized runs and for the object engine,
+        where the notion does not apply).  Excluded from
+        :meth:`fingerprint` — it describes *how* the numbers were produced,
+        never *which*.
     """
 
     makespan: float
@@ -51,6 +58,7 @@ class SimulationResult:
     n_packets: int = 0
     task_processor: Dict[TaskId, ProcId] = field(default_factory=dict)
     trace: Optional[ExecutionTrace] = None
+    n_fallback_epochs: int = 0
 
     # ------------------------------------------------------------------ #
     def speedup(self) -> float:

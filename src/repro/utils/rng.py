@@ -12,7 +12,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-__all__ = ["as_rng", "spawn_rng", "StreamDraws", "SeedLike"]
+__all__ = ["as_rng", "spawn_rng", "split", "StreamDraws", "SeedLike"]
 
 SeedLike = Union[None, int, np.random.Generator]
 
@@ -137,3 +137,15 @@ def spawn_rng(rng: np.random.Generator, n: int = 1) -> list[np.random.Generator]
         raise ValueError(f"n must be >= 1, got {n}")
     seeds = rng.integers(0, 2**63 - 1, size=n)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def split(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split *rng* into *n* independent child generators.
+
+    The canonical entry point for multi-replica work (e.g. the batched
+    annealing engine gives each replica one child): one ``integers`` draw of
+    *n* fresh 63-bit seeds from the parent, one deterministic child stream
+    per seed.  Identical to :func:`spawn_rng`; the name matches the
+    replica-oriented call sites.
+    """
+    return spawn_rng(rng, n)

@@ -78,6 +78,44 @@ class TestScenario:
         }
         assert run_scenario(spec)["makespan"] == run_scenario(spec)["makespan"]
 
+    def test_row_reports_cache_and_fallback_counters(self):
+        spec = {
+            "policy": "SA",
+            "machine": "hypercube8",
+            "family": "layered",
+            "graph_seed": 5,
+            "policy_seed": 5,
+            "with_comm": True,
+            "fidelity": "latency",
+        }
+        row = run_scenario(spec)
+        assert row["error"] is None
+        # SA is fully kernelized in the fast engine: no materialized contexts.
+        assert row["n_fallback_epochs"] == 0
+        assert row["compile_cache_hits"] + row["compile_cache_misses"] >= 1
+        # Same spec again in this process: graph/machine come from the worker
+        # caches, so the compiled scenario memo must hit.
+        again = run_scenario(spec)
+        assert again["compile_cache_hits"] >= 1
+        assert again["compile_cache_misses"] == 0
+        assert again["makespan"] == row["makespan"]
+
+    def test_replicas_spec_changes_sa_only(self):
+        base = {
+            "machine": "hypercube8",
+            "family": "layered",
+            "graph_seed": 1,
+            "policy_seed": 1,
+            "with_comm": True,
+            "fidelity": "latency",
+        }
+        sa = run_scenario({**base, "policy": "SA", "replicas": 3})
+        sa2 = run_scenario({**base, "policy": "SA", "replicas": 3})
+        assert sa["error"] is None
+        assert sa["makespan"] == sa2["makespan"]  # deterministic
+        hlf = run_scenario({**base, "policy": "HLF", "replicas": None})
+        assert hlf["error"] is None
+
 
 class TestSweep:
     def _small_kwargs(self):
@@ -116,6 +154,42 @@ class TestSweep:
         text = format_sweep_report(report)
         assert "Sweep: 4 simulations" in text
         assert "HLF" in text and "SA" in text
+
+    def test_meta_surfaces_cache_and_fallback_totals(self):
+        report = run_sweep(jobs=1, **self._small_kwargs())
+        meta = report["meta"]
+        assert meta["n_fallback_epochs"] == 0  # every builtin policy kernelized
+        cache = meta["compile_cache"]
+        assert cache["hits"] + cache["misses"] >= 1
+        # Paired policies over the same (graph, machine, model) hit the memo.
+        assert cache["hits"] >= 1
+
+    def test_replicas_validated_early(self):
+        with pytest.raises(ValueError, match="replicas"):
+            build_grid(policies=("SA",), machines=("hypercube8",),
+                       families=("layered",), n_seeds=1, replicas=0)
+        with pytest.raises(ValueError, match="replicas"):
+            run_sweep(jobs=1, replicas=-1, policies=("SA",),
+                      machines=("hypercube8",), families=("layered",), n_seeds=1)
+
+    def test_replicas_threads_into_sa_rows(self):
+        grid = build_grid(policies=("HLF", "SA"), machines=("hypercube8",),
+                          families=("layered",), n_seeds=1, replicas=4)
+        by_policy = {g["policy"]: g for g in grid}
+        assert by_policy["SA"]["replicas"] == 4
+        assert by_policy["HLF"]["replicas"] is None
+        report = run_sweep(jobs=1, replicas=2, **self._small_kwargs())
+        assert report["meta"]["replicas"] == 2
+        assert report["meta"]["n_failed"] == 0
+
+    def test_replicas_cli_flag(self, tmp_path):
+        out = tmp_path / "replicas.json"
+        assert main(["--jobs", "1", "--seeds", "1", "--policies", "SA",
+                     "--machines", "hypercube8", "--families", "layered",
+                     "--replicas", "2", "--out", str(out)]) == 0
+        loaded = json.loads(out.read_text())
+        assert loaded["meta"]["replicas"] == 2
+        assert loaded["results"][0]["replicas"] == 2
 
 
 class TestParallelMap:
