@@ -21,15 +21,19 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from conftest import (
+    SWEEP_SCENARIO,
+    per_policy_payload,
+    render_policy_table,
+    sweep_graphs,
+    time_policy_sweep,
+)
 from repro.comm.model import LinearCommModel
 from repro.machine.machine import Machine
 from repro.schedulers.base import PacketContext
 from repro.schedulers.etf import ETFScheduler
-from repro.schedulers.hlf import HLFScheduler
-from repro.schedulers.lpt import LPTScheduler
 from repro.sim.compile import FastPacket, compile_scenario
-from repro.sim.engine import simulate
-from repro.taskgraph.generators import layered_random, random_dag
+from repro.taskgraph.generators import layered_random
 
 REPO_ROOT = Path(__file__).parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
@@ -37,38 +41,6 @@ BENCH_JSON = REPO_ROOT / "BENCH_engine.json"
 #: Loose CI floor for the end-to-end sweep speedup (noisy shared runners);
 #: local measurements are recorded in BENCH_engine.json.
 MIN_SPEEDUP = 2.0
-
-_POLICIES = {
-    "HLF": lambda: HLFScheduler(seed=0),
-    "ETF": lambda: ETFScheduler(),
-    "LPT": lambda: LPTScheduler(),
-}
-
-
-def _sweep_graphs():
-    return [
-        random_dag(200, edge_probability=0.08, mean_duration=15.0, mean_comm=5.0, seed=s)
-        for s in range(3)
-    ]
-
-
-def _time_sweep(graphs, machines, fast, repeats: int = 2):
-    """Wall-clock one engine over the whole (policy × machine × graph) sweep."""
-    per_policy = {}
-    results = {}
-    for name, factory in _POLICIES.items():
-        start = time.perf_counter()
-        for _ in range(repeats):
-            for mi, machine in enumerate(machines):
-                for gi, graph in enumerate(graphs):
-                    result = simulate(
-                        graph, machine, factory(), comm_model=LinearCommModel(),
-                        record_trace=False, fast=fast,
-                    )
-                    results[(name, mi, gi)] = (result.makespan, result.n_packets)
-        n_runs = repeats * len(machines) * len(graphs)
-        per_policy[name] = (time.perf_counter() - start) / n_runs
-    return per_policy, results
 
 
 def _etf_epoch_fixture():
@@ -128,19 +100,17 @@ def _time_epoch(fn, repeats=50):
 @pytest.mark.benchmark(group="engine")
 def test_engine_sweep_speedup(benchmark, save_artifact):
     machines = [Machine.hypercube(3), Machine.ring(9)]
-    graphs = _sweep_graphs()
+    graphs = sweep_graphs()
 
     # Warm-up + equivalence proof: identical numbers from both engines.
-    object_ms, object_results = _time_sweep(graphs, machines, fast=False, repeats=1)
-    fast_ms, fast_results = _time_sweep(graphs, machines, fast=None, repeats=1)
+    object_s, object_results = time_policy_sweep(graphs, machines, fast=False, repeats=1)
+    fast_s, fast_results = time_policy_sweep(graphs, machines, fast=None, repeats=1)
     assert object_results == fast_results, "fast engine diverged from the reference"
 
     # Timed passes.
-    object_ms, _ = _time_sweep(graphs, machines, fast=False)
-    fast_ms, _ = _time_sweep(graphs, machines, fast=None)
-    total_object = sum(object_ms.values())
-    total_fast = sum(fast_ms.values())
-    speedup = total_object / total_fast
+    object_s, _ = time_policy_sweep(graphs, machines, fast=False)
+    fast_s, _ = time_policy_sweep(graphs, machines, fast=None)
+    speedup = sum(object_s.values()) / sum(fast_s.values())
 
     # Kernel micro-benchmark: one ETF epoch, object path vs index kernel.
     scenario, ctx, packet = _etf_epoch_fixture()
@@ -161,19 +131,11 @@ def test_engine_sweep_speedup(benchmark, save_artifact):
     payload = {
         "benchmark": "bench_engine",
         "scenario": {
-            "sweep": "200-task random DAGs (3 seeds) x {HLF, ETF, LPT} x "
-                     "{hypercube8, ring9}, latency fidelity, eq-4 comm",
+            "sweep": SWEEP_SCENARIO % "latency",
             "kernel": "one ETF epoch: 60 ready tasks x 5 idle processors, "
                       "layer-0 predecessors placed",
         },
-        "per_policy_ms": {
-            name: {
-                "object": round(object_ms[name] * 1e3, 3),
-                "fast": round(fast_ms[name] * 1e3, 3),
-                "speedup": round(object_ms[name] / fast_ms[name], 2),
-            }
-            for name in _POLICIES
-        },
+        "per_policy_ms": per_policy_payload(object_s, fast_s),
         "sweep_speedup": round(speedup, 2),
         "etf_epoch_us": {
             "object": round(epoch_object_s * 1e6, 1),
@@ -184,21 +146,13 @@ def test_engine_sweep_speedup(benchmark, save_artifact):
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=1) + "\n")
 
-    lines = [
+    lines = render_policy_table(
         "Engine benchmark: compiled fast engine vs reference object engine",
         payload["scenario"]["sweep"],
-        "",
-        f"{'policy':<8} {'object':>10} {'fast':>10} {'speedup':>9}",
-    ]
-    for name in _POLICIES:
-        row = payload["per_policy_ms"][name]
-        lines.append(
-            f"{name:<8} {row['object']:>8.2f}ms {row['fast']:>8.2f}ms {row['speedup']:>8.2f}x"
-        )
+        payload["per_policy_ms"],
+        payload["sweep_speedup"],
+    )
     lines += [
-        f"{'total':<8} {sum(v['object'] for v in payload['per_policy_ms'].values()):>8.2f}ms "
-        f"{sum(v['fast'] for v in payload['per_policy_ms'].values()):>8.2f}ms "
-        f"{payload['sweep_speedup']:>8.2f}x",
         "",
         f"ETF epoch kernel: {payload['etf_epoch_us']['object']:.0f}us -> "
         f"{payload['etf_epoch_us']['fast']:.0f}us "
@@ -213,4 +167,4 @@ def test_engine_sweep_speedup(benchmark, save_artifact):
     )
 
     # pytest-benchmark timing: the fast-engine sweep core (one repetition).
-    benchmark(lambda: _time_sweep(graphs, machines, fast=None, repeats=1))
+    benchmark(lambda: time_policy_sweep(graphs, machines, fast=None, repeats=1))

@@ -35,6 +35,15 @@ best replica — e.g. a 16-replica SA study over the 200-task family::
     python -m repro.experiments.sweep --policies SA --families dag200 \
         --replicas 16 --jobs 4 --out sa_replicas.json
 
+``--fidelity contention`` switches every simulation to the store-and-forward
+contention model; like latency runs, these ride the compiled fast engine
+(``--engine auto``/``fast``) with the object engine available as the
+differential oracle (``--engine object``) — CI runs the same sweep through
+both and diffs the cells::
+
+    python -m repro.experiments.sweep --fidelity contention --jobs 4 \
+        --families dag200 --out contention.json
+
 Workers memoize the deterministic graph/machine builders per process, so the
 compiled-scenario cache (``sim/compile.py``) hits across the specs a worker
 runs back to back; the report's ``meta.compile_cache`` counts those
@@ -51,6 +60,7 @@ from __future__ import annotations
 import argparse
 import json
 import multiprocessing as mp
+import os
 import time
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -327,8 +337,9 @@ def run_scenario(spec: dict) -> dict:
             comm_model=comm_model,
             fidelity=spec.get("fidelity", "latency"),
             record_trace=False,
-            # None = auto: latency statistical runs go through the compiled
-            # fast engine (bit-identical); False pins the object engine.
+            # None = auto: traceless statistical runs — both fidelities —
+            # go through the compiled fast engine (bit-identical); False
+            # pins the object engine.
             fast=spec.get("fast"),
             replicas=spec.get("replicas"),
         )
@@ -473,6 +484,11 @@ def run_sweep(
         "aggregates": _aggregate(rows),
     }
     if out:
+        # Reports often target artifact directories that fresh checkouts
+        # don't have yet (e.g. the gitignored benchmarks/results/ in CI).
+        parent = os.path.dirname(out)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(out, "w") as fh:
             json.dump(report, fh, indent=1)
     return report
@@ -542,7 +558,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--fidelity", choices=["latency", "contention"], default="latency",
-        help="simulator fidelity",
+        help=(
+            "simulator fidelity; both ride the compiled fast engine under "
+            "--engine auto/fast, bit-identical to --engine object"
+        ),
     )
     parser.add_argument(
         "--replicas", type=int, default=None,

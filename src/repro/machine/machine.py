@@ -30,7 +30,9 @@ from repro.exceptions import MachineError
 from repro.machine.params import CommParams, normalize_link_weights, normalize_speeds
 from repro.machine.routing import (
     all_pairs_hop_distance,
+    all_pairs_routes,
     all_pairs_weighted_distance,
+    all_pairs_weighted_routes,
     shortest_path,
     weighted_shortest_path,
 )
@@ -264,6 +266,24 @@ class Machine:
                     self.topology, self._link_weight_matrix, src, dst
                 )
         return list(self._path_cache[key])
+
+    def all_routes(self) -> List[List[List[int]]]:
+        """All-pairs deterministic routes, ``routes[src][dst]`` node paths.
+
+        Computed with one BFS/Dijkstra parent pass per source
+        (:func:`~repro.machine.routing.all_pairs_routes` and its weighted
+        counterpart), which yields exactly the per-pair :meth:`route` paths;
+        the result also primes the per-pair path cache.  Used by the
+        compiled contention tables, which need every ordered pair at once.
+        """
+        if self._link_weight_matrix is None:
+            routes = all_pairs_routes(self.topology)
+        else:
+            routes = all_pairs_weighted_routes(self.topology, self._link_weight_matrix)
+        for src in range(self.n_processors):
+            for dst in range(self.n_processors):
+                self._path_cache.setdefault((src, dst), routes[src][dst])
+        return routes
 
     def link_path(self, src: int, dst: int) -> List[Tuple[int, int]]:
         """The undirected links (as sorted pairs) traversed from *src* to *dst*."""

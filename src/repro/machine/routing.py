@@ -32,6 +32,8 @@ __all__ = [
     "all_pairs_hop_distance",
     "shortest_path",
     "routing_table",
+    "all_pairs_routes",
+    "all_pairs_weighted_routes",
     "all_pairs_weighted_distance",
     "weighted_dijkstra",
     "weighted_shortest_path",
@@ -101,6 +103,81 @@ def shortest_path(topology: Topology, src: int, dst: int) -> List[int]:
         path.append(parent[path[-1]])
     path.reverse()
     return path
+
+
+def _paths_from_parents(src: int, parent: List[int], n: int) -> List[List[int]]:
+    """Extract one path per destination from a shortest-path parent tree.
+
+    Paths are built in increasing destination order, reusing the already
+    extracted prefix of each parent (every node's path is its parent's path
+    plus itself), so the whole batch costs O(total path length).
+    Unreachable destinations get an empty list.
+    """
+    paths: List[List[int]] = [[] for _ in range(n)]
+    paths[src] = [src]
+    for dst in range(n):
+        if paths[dst] or dst == src:
+            continue
+        chain = []
+        node = dst
+        while node != src and not paths[node]:
+            chain.append(node)
+            node = parent[node]
+            if node < 0:
+                break
+        if node < 0 or (node != src and not paths[node]):
+            continue  # unreachable
+        prefix = paths[node] if node != src else paths[src]
+        for hop in reversed(chain):
+            prefix = prefix + [hop]
+            paths[hop] = prefix
+    return paths
+
+
+def all_pairs_routes(topology: Topology) -> List[List[List[int]]]:
+    """Deterministic shortest routes for every ordered processor pair.
+
+    ``routes[src][dst]`` is the node path from *src* to *dst* (inclusive;
+    empty when unreachable).  One BFS parent tree is built per source —
+    neighbours explored in increasing index order assign each node the same
+    first-discovery parent as the per-pair :func:`shortest_path`, so every
+    extracted route is **identical** to the per-pair result (which is what
+    the contention simulators charge link occupancy on).
+    """
+    n = topology.n_processors
+    routes: List[List[List[int]]] = []
+    for src in range(n):
+        parent = [-1] * n
+        parent[src] = src
+        queue: deque[int] = deque([src])
+        while queue:
+            u = queue.popleft()
+            for v in topology.neighbors(u):
+                if parent[v] < 0:
+                    parent[v] = u
+                    queue.append(v)
+        parent[src] = src
+        routes.append(_paths_from_parents(src, parent, n))
+    return routes
+
+
+def all_pairs_weighted_routes(
+    topology: Topology, weights: np.ndarray
+) -> List[List[List[int]]]:
+    """Minimum-weight counterpart of :func:`all_pairs_routes`.
+
+    One Dijkstra parent tree per source; ties broken by hop count then
+    towards lower-numbered processors, exactly like
+    :func:`weighted_shortest_path` (which extracts from the same parent
+    array), so routes match the per-pair calls bit for bit.
+    """
+    n = topology.n_processors
+    routes: List[List[List[int]]] = []
+    for src in range(n):
+        _dist, _hops, parent = weighted_dijkstra(topology, weights, src)
+        parent[src] = src
+        routes.append(_paths_from_parents(src, parent, n))
+    return routes
 
 
 def weighted_dijkstra(

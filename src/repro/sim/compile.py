@@ -44,6 +44,7 @@ from repro.taskgraph.graph import TaskGraph
 
 __all__ = [
     "CompiledScenario",
+    "ContentionTables",
     "FastPacket",
     "compile_scenario",
     "supports_comm_model",
@@ -79,6 +80,84 @@ _CACHE_STATS = {"hits": 0, "misses": 0}
 def scenario_cache_stats() -> Dict[str, int]:
     """A copy of this process's compiled-scenario memo counters."""
     return dict(_CACHE_STATS)
+
+
+@dataclass
+class ContentionTables:
+    """The store-and-forward routing of a machine, lowered to flat arrays.
+
+    The contention fidelity forwards every message hop by hop along the
+    machine's deterministic shortest routes; the object engine re-fetches
+    ``machine.route(src, dst)`` and keys link occupancy by ``(a, b)`` node
+    tuples per message.  These tables precompute, once per compiled
+    scenario, everything the fast engine's contention loop indexes:
+
+    * undirected links get dense ids ``0 .. n_links - 1`` (enumeration
+      order of ``topology.links()``), so the per-link next-free timeline is
+      a flat list instead of a dict;
+    * every ordered processor pair ``(src, dst)`` maps — through the CSR
+      key ``src * P + dst`` — to its route's hop slice: per hop the link id
+      (``hop_links``), the node the hop enters (``hop_nodes``, i.e.
+      ``route[k+1]``) and the link-weight transfer multiplier
+      (``hop_mults``, all 1.0 on unit-weight machines, where the engine
+      skips the multiply entirely like the object engine does).
+
+    A message of edge weight ``w`` occupies hop *k*'s link for
+    ``w * hop_mults[k]`` — the per-hop ``w_ij * link_weight`` charge whose
+    route-summed counterpart is the volume term of the per-edge equation-4
+    tensor (``_pred_costs``), so the two fidelities read one consistent
+    route decomposition.  ``routes[src * P + dst]`` keeps the full node
+    path as a tuple for trace records.
+    """
+
+    n_links: int
+    sigma: float
+    tau: float
+    unit_links: bool
+    route_indptr: List[int]
+    hop_links: List[int]
+    hop_nodes: List[int]
+    hop_mults: List[float]
+    routes: List[tuple]
+
+
+def _compile_contention(machine: Machine) -> ContentionTables:
+    """Lower *machine*'s routes and links into :class:`ContentionTables`."""
+    n = machine.n_processors
+    link_index: Dict[tuple, int] = {}
+    for link in machine.topology.links():
+        a, b = link
+        key = (a, b) if a < b else (b, a)
+        link_index.setdefault(key, len(link_index))
+    all_routes = machine.all_routes()
+    unit_links = bool(getattr(machine, "has_unit_link_weights", True))
+    route_indptr = [0] * (n * n + 1)
+    hop_links: List[int] = []
+    hop_nodes: List[int] = []
+    hop_mults: List[float] = []
+    routes: List[tuple] = []
+    for src in range(n):
+        for dst in range(n):
+            route = all_routes[src][dst]
+            for k in range(len(route) - 1):
+                a, b = route[k], route[k + 1]
+                hop_links.append(link_index[(a, b) if a < b else (b, a)])
+                hop_nodes.append(b)
+                hop_mults.append(1.0 if unit_links else machine.link_weight(a, b))
+            pair = src * n + dst
+            route_indptr[pair + 1] = len(hop_links)
+            routes.append(tuple(route))
+    return ContentionTables(
+        n_links=len(link_index),
+        sigma=machine.params.sigma,
+        tau=machine.params.tau,
+        unit_links=unit_links,
+        route_indptr=route_indptr,
+        hop_links=hop_links,
+        hop_nodes=hop_nodes,
+        hop_mults=hop_mults,
+        routes=routes,
+    )
 
 
 @dataclass
@@ -134,6 +213,7 @@ class CompiledScenario:
     #: (``None`` for the zero model).
     _pred_costs: Optional[np.ndarray] = field(repr=False, default=None)
     _weight_tables: Dict[float, np.ndarray] = field(repr=False, default_factory=dict)
+    _contention: Optional[ContentionTables] = field(repr=False, default=None)
 
     @property
     def n_tasks(self) -> int:
@@ -160,6 +240,18 @@ class CompiledScenario:
                 table = (weight * self._wdistance + self._routing) + self._setup
             self._weight_tables[weight] = table
         return table
+
+    def contention_tables(self) -> ContentionTables:
+        """The machine's store-and-forward tables, compiled on first use.
+
+        Only the contention event loop needs them; latency runs never pay
+        for route extraction.  Memoized on the scenario, which the scenario
+        cache in turn memoizes per (graph, machine, model).
+        """
+        tables = self._contention
+        if tables is None:
+            tables = self._contention = _compile_contention(self.machine)
+        return tables
 
     def pred_table(self, e: int) -> Optional[np.ndarray]:
         """The ``(P, P)`` cost table of predecessor-CSR entry *e* (``None`` when free)."""

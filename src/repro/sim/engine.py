@@ -34,9 +34,10 @@ communication model, and contention messages occupy each link for ``w_ij *
 link_weight``.  With the default unit speeds and weights every charge is
 bit-for-bit identical to the homogeneous engine.
 
-This module is the *object* engine — the readable reference implementation.
-Latency-fidelity runs without trace recording are dispatched automatically
-to the compiled index-space fast engine (:mod:`repro.sim.compile` +
+This module is the *object* engine — the readable reference implementation
+and the differential oracle of the equivalence tests.  Runs without trace
+recording (both fidelities) are dispatched automatically to the compiled
+index-space fast engine (:mod:`repro.sim.compile` +
 :mod:`repro.sim.fast_engine`), which is proven bit-for-bit identical; see
 the ``fast`` parameter of :class:`Simulator`.
 """
@@ -88,14 +89,15 @@ class Simulator:
         Keep the full execution trace (task intervals, messages, overheads).
         Disable for large statistical benchmarks to save memory.
     fast:
-        Engine selection.  ``None`` (default) dispatches latency-fidelity
-        runs without trace recording to the compiled index-space engine
+        Engine selection.  ``None`` (default) dispatches runs without trace
+        recording — both fidelities — to the compiled index-space engine
         (:mod:`repro.sim.fast_engine`) whenever the communication model is
         foldable, and uses the object engine otherwise — the two are proven
         bit-for-bit identical, so the choice is invisible.  ``True`` forces
-        the fast engine (raising :class:`SimulationError` when the scenario
-        is unsupported, e.g. contention fidelity) and also allows it to
-        record a trace; ``False`` opts out entirely.
+        the fast engine (raising :class:`SimulationError` when the
+        communication model cannot be folded into tables) and also allows
+        it to record a trace, including the contention fidelity's overhead
+        and link-occupancy records; ``False`` opts out entirely.
     replicas:
         When given, ask the policy for a multi-replica variant of itself
         (``policy.with_replicas(replicas)``, e.g. SA's batched multi-start
@@ -137,13 +139,15 @@ class Simulator:
 
     # ------------------------------------------------------------------ #
     def _use_fast_engine(self) -> bool:
-        """Decide whether this run goes through the compiled fast engine."""
+        """Decide whether this run goes through the compiled fast engine.
+
+        Both fidelities compile (the contention loop runs on the scenario's
+        flat route tables); the only hard requirement is a foldable
+        communication model.  Auto mode keeps trace-recording runs on the
+        object engine — ``fast=True`` overrides that, e.g. for Figure 2's
+        contention Gantt chart on the fast path.
+        """
         if self.fast is True:
-            if self.fidelity != "latency":
-                raise SimulationError(
-                    "fast=True requires the 'latency' fidelity; the contention "
-                    "model is only implemented by the object engine"
-                )
             if not supports_comm_model(self.comm_model):
                 raise SimulationError(
                     f"fast=True cannot fold communication model "
@@ -153,11 +157,7 @@ class Simulator:
             return True
         if self.fast is False:
             return False
-        return (
-            self.fidelity == "latency"
-            and not self.record_trace
-            and supports_comm_model(self.comm_model)
-        )
+        return not self.record_trace and supports_comm_model(self.comm_model)
 
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
@@ -169,7 +169,11 @@ class Simulator:
             levels = graph.levels()
             scenario = compile_scenario(graph, machine, self.comm_model, levels=levels)
             return run_compiled(
-                scenario, self.policy, levels=levels, record_trace=self.record_trace
+                scenario,
+                self.policy,
+                levels=levels,
+                record_trace=self.record_trace,
+                fidelity=self.fidelity,
             )
 
         if graph.n_tasks == 0:
@@ -180,6 +184,7 @@ class Simulator:
                 graph_name=graph.name,
                 machine_name=machine.name,
                 policy_name=getattr(self.policy, "name", type(self.policy).__name__),
+                fidelity=self.fidelity,
                 trace=ExecutionTrace() if self.record_trace else None,
             )
 
@@ -406,6 +411,7 @@ class Simulator:
             n_packets=n_packets,
             task_processor=dict(assigned_proc),
             trace=trace if self.record_trace else None,
+            fidelity=self.fidelity,
         )
         return result
 

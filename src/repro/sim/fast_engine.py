@@ -1,7 +1,7 @@
 """The compiled fast simulation engine.
 
-Runs the latency-fidelity discrete-event loop of :mod:`repro.sim.engine`
-entirely in index space over a :class:`~repro.sim.compile.CompiledScenario`:
+Runs the discrete-event loop of :mod:`repro.sim.engine` entirely in index
+space over a :class:`~repro.sim.compile.CompiledScenario`:
 tasks are dense integers, simulation state lives in flat arrays
 (``unfinished_preds``, ``finish_times``, ``assigned_proc``, per-processor
 free times), the event set is a plain ``(time, seq, task)`` heap, and every
@@ -17,16 +17,29 @@ incrementally-maintained dictionaries.  Those fallback epochs are counted
 level, so a silently slow path is visible in sweep metadata instead of just
 in the wall clock.
 
+Both fidelities are implemented:
+
+* ``"latency"`` — every inter-processor message is a single precompiled
+  table lookup (the model the SA cost function assumes);
+* ``"contention"`` — messages are forwarded hop by hop over the compiled
+  :class:`~repro.sim.compile.ContentionTables`: a flat per-link next-free
+  timeline replaces the object engine's ``(a, b)``-keyed dict, routes are
+  precomputed CSR hop slices instead of per-message ``machine.route``
+  calls, and the σ/τ send/route busy times are charged to a flat
+  per-processor communication-free vector.  With trace recording on, the
+  same send/route overhead records and per-hop link occupancy intervals
+  are emitted, so Figure 2's Gantt chart can run on this engine.
+
 Every arithmetic operation mirrors the reference engine's float operation
 order, so a fast run is **bit-for-bit identical** to a reference run: same
-makespan, same assignments, same task intervals, same fingerprint.  The
-golden-trace suite and the hypothesis differential tests pin that contract.
+makespan, same assignments, same task intervals, same messages and overhead
+records, same fingerprint.  The golden-trace suite and the hypothesis
+differential tests pin that contract for both fidelities.
 
-The fast engine only implements the ``"latency"`` fidelity (the model the SA
-cost function assumes); :class:`~repro.sim.engine.Simulator` dispatches here
-automatically for latency runs without trace recording and falls back to the
-object engine otherwise (``fast=True`` forces the fast path, e.g. to record
-an equivalence trace; ``fast=False`` opts out).
+:class:`~repro.sim.engine.Simulator` dispatches here automatically for runs
+without trace recording whenever the communication model folds into tables,
+and falls back to the object engine otherwise (``fast=True`` forces the
+fast path, e.g. to record an equivalence trace; ``fast=False`` opts out).
 """
 
 from __future__ import annotations
@@ -45,7 +58,7 @@ from repro.schedulers.base import PacketContext, SchedulingPolicy, validate_assi
 from repro.sim.compile import CompiledScenario, FastPacket
 from repro.sim.message import MessageRecord
 from repro.sim.results import SimulationResult
-from repro.sim.trace import ExecutionTrace, TaskRecord
+from repro.sim.trace import ExecutionTrace, OverheadRecord, TaskRecord
 
 __all__ = ["run_compiled"]
 
@@ -95,13 +108,15 @@ def run_compiled(
     policy: SchedulingPolicy,
     levels: Optional[Dict[TaskId, float]] = None,
     record_trace: bool = False,
+    fidelity: str = "latency",
 ) -> SimulationResult:
     """Execute *scenario* under *policy* and return a :class:`SimulationResult`.
 
     The caller (normally :class:`~repro.sim.engine.Simulator`) is responsible
     for ``policy.reset()`` and graph validation.  *levels* is the id-keyed
     level mapping for the object-path fallback context; recomputed when
-    omitted.
+    omitted.  *fidelity* selects the latency or the store-and-forward
+    contention message model (see module docstring).
     """
     graph, machine = scenario.graph, scenario.machine
     n = scenario.n_tasks
@@ -115,6 +130,7 @@ def run_compiled(
             graph_name=graph.name,
             machine_name=machine.name,
             policy_name=policy_name,
+            fidelity=fidelity,
             trace=ExecutionTrace() if record_trace else None,
         )
 
@@ -143,6 +159,23 @@ def run_compiled(
     n_packets = 0
     n_fallback = 0
     trace = ExecutionTrace()
+
+    # Contention-only state: flat per-link next-free timeline, per-processor
+    # communication busy time and the compiled route hop slices.  A
+    # zero-communication contention run skips the store-and-forward
+    # machinery entirely (like the object engine's ``deliver_latency``
+    # shortcut), so it rides the plain latency placement path.
+    contention = fidelity == "contention" and scenario.comm_enabled
+    if contention:
+        ct = scenario.contention_tables()
+        sigma, tau = ct.sigma, ct.tau
+        unit_links = ct.unit_links
+        route_indptr = ct.route_indptr
+        hop_links, hop_nodes, hop_mults = ct.hop_links, ct.hop_nodes, ct.hop_mults
+        pair_routes = ct.routes
+        link_free = [0.0] * ct.n_links
+        proc_comm_free = [0.0] * n_procs
+        pred_weights_list = pred_weights.tolist()
 
     # The object-path fallback (policies without ``fast_assign``, e.g. SA —
     # or a policy whose fast path declines one epoch) sees the same
@@ -216,6 +249,120 @@ def run_compiled(
         heapq.heappush(heap, (fin, seq, ti))
         seq += 1
 
+    def place_contention(ti: int, proc: int, now: float) -> None:
+        """Contention-fidelity placement: store-and-forward message delivery.
+
+        Mirrors ``deliver_contention`` of the object engine operation by
+        operation — same ``max`` argument orders, same per-hop occupancy
+        arithmetic, same overhead/message record conditions — over the
+        precompiled flat route tables, so the two engines are bit-identical
+        down to the trace record lists.
+        """
+        del ready_keys[bisect_left(ready_keys, ti)]
+        assigned[ti] = proc
+        assigned_arr[ti] = proc
+        proc_occupant[proc] = ti
+        data_ready = now
+        for e in range(pred_indptr[ti], pred_indptr[ti + 1]):
+            pred = pred_ids[e]
+            src = assigned[pred]
+            send_time = finish[pred]
+            if src == proc:
+                arrival = send_time
+            else:
+                weight = pred_weights_list[e]
+                # Link setup on the sender.
+                cf = proc_comm_free[src]
+                send_start = send_time if send_time >= cf else cf
+                end = send_start + sigma
+                # ``end > send_start`` (not ``sigma > 0``): the object
+                # engine's add_overhead gates on the *computed* interval, and
+                # a tiny sigma can be absorbed at large times.
+                if record_trace and end > send_start:
+                    trace.overhead_records.append(
+                        OverheadRecord(
+                            processor=src,
+                            start_time=send_start,
+                            end_time=end,
+                            kind="send",
+                            task=task_ids[pred],
+                        )
+                    )
+                if end > cf:
+                    proc_comm_free[src] = end
+                at_node = send_start + sigma
+                base = route_indptr[src * n_procs + proc]
+                top = route_indptr[src * n_procs + proc + 1]
+                last = top - 1
+                hop_intervals: List[tuple] = []
+                for h in range(base, top):
+                    lid = hop_links[h]
+                    lf = link_free[lid]
+                    hop_start = at_node if at_node >= lf else lf
+                    hop_end = hop_start + (weight if unit_links else weight * hop_mults[h])
+                    link_free[lid] = hop_end
+                    if record_trace:
+                        hop_intervals.append((hop_start, hop_end))
+                    at_node = hop_end
+                    if h < last:
+                        # Intermediate processor routes the message
+                        # (quarter blocks of Fig. 2).
+                        b = hop_nodes[h]
+                        routed = hop_end + tau
+                        if record_trace and routed > hop_end:
+                            trace.overhead_records.append(
+                                OverheadRecord(
+                                    processor=b,
+                                    start_time=hop_end,
+                                    end_time=routed,
+                                    kind="route",
+                                    task=task_ids[ti],
+                                )
+                            )
+                        if routed > proc_comm_free[b]:
+                            proc_comm_free[b] = routed
+                        at_node = routed
+                arrival = at_node
+                if record_trace:
+                    trace.message_records.append(
+                        MessageRecord(
+                            src_task=task_ids[pred],
+                            dst_task=task_ids[ti],
+                            src_proc=src,
+                            dst_proc=proc,
+                            weight=weight,
+                            send_time=send_start,
+                            arrival_time=arrival,
+                            route=pair_routes[src * n_procs + proc],
+                            hop_intervals=tuple(hop_intervals),
+                        )
+                    )
+            if arrival > data_ready:
+                data_ready = arrival
+        start = max(now, data_ready, proc_comm_free[proc], proc_task_free[proc])
+        fin = start + durations[ti] / speeds[proc]
+        proc_task_free[proc] = fin
+        finish[ti] = fin
+        finish_arr[ti] = fin
+        ctx_task_processor[task_ids[ti]] = proc
+        ctx_proc_ready[proc] = fin
+        proc_ready_arr[proc] = fin
+        if record_trace:
+            trace.task_records.append(
+                TaskRecord(
+                    task=task_ids[ti],
+                    processor=proc,
+                    assigned_time=now,
+                    start_time=float(start),
+                    finish_time=float(fin),
+                )
+            )
+        nonlocal seq
+        heapq.heappush(heap, (fin, seq, ti))
+        seq += 1
+
+    place_task = place_contention if contention else place
+
     def run_epoch(now: float) -> None:
         nonlocal n_packets
         if not ready_keys:
@@ -278,7 +425,7 @@ def run_compiled(
         if assignment:
             n_packets += 1
         for ti, proc in assignment.items():
-            place(ti, proc, now)
+            place_task(ti, proc, now)
 
     # --- main loop ------------------------------------------------------ #
     now = 0.0
@@ -324,4 +471,5 @@ def run_compiled(
         task_processor={task_ids[i]: assigned[i] for i in range(n)},
         trace=trace if record_trace else None,
         n_fallback_epochs=n_fallback,
+        fidelity=fidelity,
     )

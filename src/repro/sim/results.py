@@ -8,6 +8,7 @@ the simulator.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional
 
@@ -47,6 +48,9 @@ class SimulationResult:
         where the notion does not apply).  Excluded from
         :meth:`fingerprint` — it describes *how* the numbers were produced,
         never *which*.
+    fidelity:
+        The simulator fidelity the run used (``"latency"`` or
+        ``"contention"``), for reports and benchmark metadata.
     """
 
     makespan: float
@@ -59,6 +63,7 @@ class SimulationResult:
     task_processor: Dict[TaskId, ProcId] = field(default_factory=dict)
     trace: Optional[ExecutionTrace] = None
     n_fallback_epochs: int = 0
+    fidelity: str = "latency"
 
     # ------------------------------------------------------------------ #
     def speedup(self) -> float:
@@ -111,10 +116,16 @@ class SimulationResult:
 
         Captures the makespan, the packet count, the message count and —
         when a trace was recorded — every task's ``[processor, start,
-        finish]`` triple.  Floats survive a JSON round-trip exactly (Python
-        serializes the shortest representation that parses back to the same
-        double), so golden-trace regression tests can compare fingerprints
-        with ``==`` and detect any behavioural drift, however small.
+        finish]`` triple.  Contention traces additionally carry the
+        overhead-record count and the exact sum of per-link occupancy time
+        (``math.fsum`` over the hop intervals, one deterministic rounding),
+        so golden fixtures pin the store-and-forward timeline too; both keys
+        are omitted when no overheads/hops were recorded, which keeps
+        latency fingerprints byte-identical to their pre-contention form.
+        Floats survive a JSON round-trip exactly (Python serializes the
+        shortest representation that parses back to the same double), so
+        golden-trace regression tests can compare fingerprints with ``==``
+        and detect any behavioural drift, however small.
         """
         if self.trace is not None:
             tasks = {
@@ -130,9 +141,20 @@ class SimulationResult:
                 )
             }
             n_messages = None
-        return {
+        fp = {
             "makespan": self.makespan,
             "n_packets": self.n_packets,
             "n_messages": n_messages,
             "tasks": tasks,
         }
+        if self.trace is not None:
+            if self.trace.overhead_records:
+                fp["n_overheads"] = len(self.trace.overhead_records)
+            hop_time = math.fsum(
+                end - start
+                for msg in self.trace.message_records
+                for start, end in msg.hop_intervals
+            )
+            if hop_time:
+                fp["link_busy_time"] = hop_time
+        return fp

@@ -113,6 +113,14 @@ def golden_random(golden_regen) -> GoldenStore:
     store.flush()
 
 
+@pytest.fixture(scope="session")
+def golden_contention(golden_regen) -> GoldenStore:
+    """Golden fingerprints for the Table-2 cells under contention fidelity."""
+    store = GoldenStore(GOLDEN_DIR / "contention_cells.json", golden_regen)
+    yield store
+    store.flush()
+
+
 @pytest.fixture
 def diamond_graph() -> TaskGraph:
     """A 4-task diamond: a -> {b, c} -> d, with communication weights."""

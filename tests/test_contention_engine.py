@@ -1,0 +1,374 @@
+"""The fast engine's contention fidelity: equivalence, goldens and invariants.
+
+The contention event loop (store-and-forward hops over the compiled route
+tables, per-link next-free timelines, σ/τ busy time) must be **bit-for-bit
+trace-identical** to the object engine's ``deliver_contention`` path.  This
+module pins that four ways:
+
+* golden fixtures — every Table-2 cell simulated once per engine under the
+  canonical SA contention run, against ``tests/golden/contention_cells.json``
+  (regenerable with ``--regen-golden``), which also verifies the paper smoke
+  path ``runner --fidelity contention`` end to end;
+* differentially under hypothesis — random DAGs × (homogeneous and
+  heterogeneous) machines × every policy, comparing fingerprints *and* the
+  raw task/message/overhead record lists;
+* physically — per-message monotonicity: a contention delivery can never
+  beat the equation-4 latency cost, links carry one message at a time, and
+  σ/τ busy time lands on the right processors;
+* structurally — the compiled route tables against per-pair
+  ``machine.route`` calls on fresh machines, and the Figure-2 chart rendered
+  through both engines character for character.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.comm.model import LinearCommModel, ZeroCommModel
+from repro.core.config import SAConfig
+from repro.core.sa_scheduler import SAScheduler
+from repro.machine.machine import Machine
+from repro.machine.routing import all_pairs_routes, all_pairs_weighted_routes
+from repro.schedulers.etf import ETFScheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.hlf import HLFScheduler
+from repro.schedulers.lpt import LPTScheduler
+from repro.schedulers.random_policy import RandomScheduler
+from repro.sim.compile import compile_scenario
+from repro.sim.engine import simulate
+from repro.taskgraph.generators import layered_random, random_dag
+from repro.workloads.suite import PAPER_PROGRAMS
+
+from test_golden_trace import TABLE2_CELLS, _ARCH_BUILDERS
+
+
+def _run_cell_contention(program: str, architecture: str, comm: str, fast: bool):
+    """One canonical fixed-seed SA contention run for a Table-2 cell."""
+    graph = PAPER_PROGRAMS[program].build(seed=0)
+    machine = _ARCH_BUILDERS[architecture]()
+    comm_model = LinearCommModel() if comm == "with" else ZeroCommModel()
+    return simulate(
+        graph,
+        machine,
+        SAScheduler(SAConfig.paper_defaults(seed=1)),
+        comm_model=comm_model,
+        fidelity="contention",
+        record_trace=True,
+        fast=fast,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Golden contention cells: object engine pins the fixture, fast engine must
+# reproduce the very same fingerprints.
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("program,architecture,comm", TABLE2_CELLS,
+                         ids=[f"{p}-{a.split(' ')[0]}-{c}" for p, a, c in TABLE2_CELLS])
+def test_contention_cell_matches_golden_trace(program, architecture, comm, golden_contention):
+    result = _run_cell_contention(program, architecture, comm, fast=False)
+    result.trace.validate(PAPER_PROGRAMS[program].build(seed=0))
+    assert result.fidelity == "contention"
+    golden_contention.check(f"{program}|{architecture}|{comm}", result.fingerprint())
+
+
+@pytest.mark.parametrize("program,architecture,comm", TABLE2_CELLS,
+                         ids=[f"{p}-{a.split(' ')[0]}-{c}" for p, a, c in TABLE2_CELLS])
+def test_fast_contention_cell_matches_golden_trace(program, architecture, comm, golden_contention):
+    result = _run_cell_contention(program, architecture, comm, fast=True)
+    result.trace.validate(PAPER_PROGRAMS[program].build(seed=0))
+    golden_contention.check(f"{program}|{architecture}|{comm}", result.fingerprint())
+
+
+# --------------------------------------------------------------------------- #
+# Differential equivalence (hypothesis): fast vs object, trace records and all
+# --------------------------------------------------------------------------- #
+
+_POLICY_FACTORIES = {
+    "ETF": lambda seed: ETFScheduler(),
+    "HLF": lambda seed: HLFScheduler(seed=seed),
+    "HLF/min-comm": lambda seed: HLFScheduler(placement="min_comm"),
+    "HLF/fastest": lambda seed: HLFScheduler(placement="fastest"),
+    "HLF/index": lambda seed: HLFScheduler(placement="index"),
+    "LPT": lambda seed: LPTScheduler(),
+    "FIFO": lambda seed: FIFOScheduler(),
+    "Random": lambda seed: RandomScheduler(seed=seed),
+    "SA": lambda seed: SAScheduler(SAConfig.paper_defaults(seed=seed)),
+}
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Homogeneous and heterogeneous machines; the weighted ones route along
+#: minimum-weight paths and charge per-hop ``w_ij * link_weight`` occupancy.
+_machines = st.sampled_from(
+    [
+        Machine.hypercube(2),
+        Machine.hypercube(3),
+        Machine.ring(5),
+        Machine.bus(6),
+        Machine.mesh(2, 3),
+        Machine.ring(7, speeds=[1.0, 2.0, 1.0, 3.0, 1.0, 0.5, 1.0],
+                     link_weights={(0, 1): 2.0, (3, 4): 0.5}),
+        Machine.hypercube(3, speeds=[1.0 + 0.25 * i for i in range(8)],
+                          link_weights={(0, 1): 3.0, (2, 6): 0.25}),
+    ]
+)
+
+
+@st.composite
+def _graphs(draw):
+    kind = draw(st.sampled_from(["layered", "dag", "sparse"]))
+    seed = draw(st.integers(0, 10_000))
+    if kind == "layered":
+        return layered_random(
+            n_layers=draw(st.integers(1, 5)), width=draw(st.integers(1, 6)),
+            edge_probability=0.4, mean_comm=5.0, seed=seed,
+        )
+    if kind == "dag":
+        return random_dag(draw(st.integers(1, 30)), edge_probability=0.25, seed=seed)
+    return random_dag(draw(st.integers(1, 40)), edge_probability=0.05, seed=seed)
+
+
+class TestContentionDifferential:
+    @given(graph=_graphs(), machine=_machines,
+           policy_name=st.sampled_from(sorted(_POLICY_FACTORIES)),
+           comm_off=st.booleans(), seed=st.integers(0, 100))
+    @_SETTINGS
+    def test_fast_matches_reference_trace(self, graph, machine, policy_name, comm_off, seed):
+        if policy_name == "SA" and graph.n_tasks > 20:
+            graph = random_dag(15, edge_probability=0.2, seed=seed)  # keep SA examples quick
+        make = _POLICY_FACTORIES[policy_name]
+        comm_model = ZeroCommModel() if comm_off else LinearCommModel()
+        ref = simulate(graph, machine, make(seed), comm_model=comm_model,
+                       fidelity="contention", record_trace=True, fast=False)
+        fast = simulate(graph, machine, make(seed), comm_model=comm_model,
+                        fidelity="contention", record_trace=True, fast=True)
+        assert ref.fingerprint() == fast.fingerprint()
+        assert ref.task_processor == fast.task_processor
+        # Trace identity down to the record lists: same task intervals, same
+        # messages (routes, hop occupancy intervals), same σ/τ overheads in
+        # the same order.
+        assert ref.trace.task_records == fast.trace.task_records
+        assert ref.trace.message_records == fast.trace.message_records
+        assert ref.trace.overhead_records == fast.trace.overhead_records
+
+    @given(graph=_graphs(), machine=_machines,
+           policy_name=st.sampled_from(sorted(_POLICY_FACTORIES)),
+           seed=st.integers(0, 100))
+    @_SETTINGS
+    def test_contention_arrival_never_beats_latency_cost(
+        self, graph, machine, policy_name, seed
+    ):
+        """Per-message monotonicity: store-and-forward can only be slower.
+
+        Every contention delivery decomposes into the same σ + volume + τ
+        components as equation 4 plus non-negative queueing waits, so each
+        message's arrival must be at least its send time plus the latency
+        model's cost for the same (weight, src, dst).
+        """
+        if policy_name == "SA" and graph.n_tasks > 20:
+            graph = random_dag(15, edge_probability=0.2, seed=seed)
+        make = _POLICY_FACTORIES[policy_name]
+        model = LinearCommModel()
+        result = simulate(graph, machine, make(seed), comm_model=model,
+                          fidelity="contention", record_trace=True)
+        for msg in result.trace.message_records:
+            eq4 = model.cost(machine, msg.weight, msg.src_proc, msg.dst_proc)
+            assert msg.arrival_time >= msg.send_time + eq4 - 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Physical invariants of the fast contention loop
+# --------------------------------------------------------------------------- #
+
+
+def _contention_result(machine, seed=3, fast=True):
+    graph = layered_random(n_layers=5, width=7, edge_probability=0.45,
+                           mean_duration=10.0, mean_comm=9.0, seed=seed)
+    return graph, simulate(graph, machine, HLFScheduler(seed=seed),
+                           comm_model=LinearCommModel(), fidelity="contention",
+                           record_trace=True, fast=fast)
+
+
+class TestContentionInvariants:
+    def test_links_carry_one_message_at_a_time(self, ring9):
+        """Fast-engine hop intervals never overlap on one undirected link."""
+        _, result = _contention_result(ring9)
+        by_link = {}
+        for msg in result.trace.message_records:
+            for (a, b), (start, end) in zip(
+                zip(msg.route, msg.route[1:]), msg.hop_intervals
+            ):
+                link = (a, b) if a < b else (b, a)
+                by_link.setdefault(link, []).append((start, end))
+        assert by_link, "scenario produced no multi-hop traffic"
+        for intervals in by_link.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-9
+
+    def test_overheads_charge_senders_and_intermediates(self, hypercube8):
+        _, result = _contention_result(hypercube8)
+        sends = [o for o in result.trace.overhead_records if o.kind == "send"]
+        sigma = hypercube8.params.sigma
+        tau = hypercube8.params.tau
+        assert len(sends) == len(result.trace.message_records)
+        by_msg_src = {
+            (m.src_task, m.dst_task): m for m in result.trace.message_records
+        }
+        assert all(abs(o.duration - sigma) < 1e-12 for o in sends)
+        routes = [o for o in result.trace.overhead_records if o.kind == "route"]
+        assert all(abs(o.duration - tau) < 1e-12 for o in routes)
+        # Every multi-hop message produces one route overhead per
+        # intermediate processor.
+        expected_routes = sum(
+            max(m.n_hops - 1, 0) for m in by_msg_src.values()
+        )
+        assert len(routes) == expected_routes
+
+    def test_trace_validates_and_messages_arrive_before_start(self, hypercube8):
+        graph, result = _contention_result(hypercube8)
+        result.trace.validate(graph)
+
+    def test_zero_comm_contention_rides_latency_path(self, hypercube8):
+        """ZeroCommModel contention runs skip store-and-forward entirely."""
+        graph = layered_random(n_layers=4, width=5, edge_probability=0.4, seed=2)
+        con = simulate(graph, hypercube8, HLFScheduler(seed=0),
+                       comm_model=ZeroCommModel(), fidelity="contention",
+                       record_trace=True, fast=True)
+        lat = simulate(graph, hypercube8, HLFScheduler(seed=0),
+                       comm_model=ZeroCommModel(), fidelity="latency",
+                       record_trace=True, fast=True)
+        assert con.makespan == lat.makespan
+        assert not con.trace.overhead_records
+        assert all(not m.hop_intervals for m in con.trace.message_records)
+
+    def test_fallback_policy_runs_contention_on_fast_engine(self, hypercube8):
+        """A policy without a fast path still drives the contention loop."""
+        from dataclasses import replace
+
+        graph = layered_random(n_layers=4, width=6, edge_probability=0.4, seed=5)
+        config = replace(SAConfig.paper_defaults(seed=2), compiled=False)
+        ref = simulate(graph, hypercube8, SAScheduler(config),
+                       comm_model=LinearCommModel(), fidelity="contention",
+                       record_trace=True, fast=False)
+        fast = simulate(graph, hypercube8, SAScheduler(config),
+                        comm_model=LinearCommModel(), fidelity="contention",
+                        record_trace=True, fast=True)
+        assert fast.n_fallback_epochs > 0
+        assert ref.fingerprint() == fast.fingerprint()
+
+    def test_fingerprint_carries_contention_keys_only_when_present(self, hypercube8):
+        graph, result = _contention_result(hypercube8)
+        fp = result.fingerprint()
+        assert fp["n_overheads"] == len(result.trace.overhead_records)
+        assert fp["link_busy_time"] > 0.0
+        lat = simulate(graph, hypercube8, HLFScheduler(seed=3),
+                       comm_model=LinearCommModel(), fidelity="latency",
+                       record_trace=True, fast=True)
+        lat_fp = lat.fingerprint()
+        assert "n_overheads" not in lat_fp
+        assert "link_busy_time" not in lat_fp
+
+    def test_result_reports_fidelity(self, diamond_graph, hypercube8):
+        for fast in (False, True, None):
+            result = simulate(diamond_graph, hypercube8, HLFScheduler(seed=0),
+                              fidelity="contention", record_trace=False, fast=fast)
+            assert result.fidelity == "contention"
+
+
+# --------------------------------------------------------------------------- #
+# Compiled route tables vs per-pair routing
+# --------------------------------------------------------------------------- #
+
+_MACHINE_BUILDERS = [
+    lambda: Machine.hypercube(3),
+    lambda: Machine.ring(9),
+    lambda: Machine.bus(8),
+    lambda: Machine.mesh(4, 4),
+    lambda: Machine.ring(5, speeds=[1, 2, 1, 3, 1],
+                         link_weights={(0, 1): 2.5, (2, 3): 0.5}),
+    lambda: Machine.hypercube(3, link_weights={(0, 1): 3.0, (2, 6): 0.25}),
+]
+
+
+class TestContentionTables:
+    @pytest.mark.parametrize("build", _MACHINE_BUILDERS)
+    def test_all_pairs_routes_match_per_pair_calls(self, build):
+        """Parent-tree batch extraction equals fresh per-pair route calls."""
+        batch, fresh = build(), build()
+        if batch.has_unit_link_weights:
+            routes = all_pairs_routes(batch.topology)
+        else:
+            routes = all_pairs_weighted_routes(
+                batch.topology, batch._link_weight_matrix
+            )
+        for src in range(fresh.n_processors):
+            for dst in range(fresh.n_processors):
+                assert routes[src][dst] == fresh.route(src, dst)
+
+    @pytest.mark.parametrize("build", _MACHINE_BUILDERS)
+    def test_compiled_tables_mirror_machine_routes(self, build, diamond_graph):
+        machine, fresh = build(), build()
+        sc = compile_scenario(diamond_graph, machine, LinearCommModel())
+        ct = sc.contention_tables()
+        n = machine.n_processors
+        link_ids = set()
+        for src in range(n):
+            for dst in range(n):
+                pair = src * n + dst
+                route = fresh.route(src, dst)
+                assert ct.routes[pair] == tuple(route)
+                lo, hi = ct.route_indptr[pair], ct.route_indptr[pair + 1]
+                assert hi - lo == len(route) - 1
+                for k, h in enumerate(range(lo, hi)):
+                    a, b = route[k], route[k + 1]
+                    assert ct.hop_nodes[h] == b
+                    expected = 1.0 if ct.unit_links else fresh.link_weight(a, b)
+                    assert ct.hop_mults[h] == expected
+                    link_ids.add(ct.hop_links[h])
+        assert link_ids <= set(range(ct.n_links))
+        assert ct.sigma == machine.params.sigma
+        assert ct.tau == machine.params.tau
+
+    def test_tables_are_memoized_per_scenario(self, diamond_graph, hypercube8):
+        sc = compile_scenario(diamond_graph, hypercube8, LinearCommModel())
+        assert sc.contention_tables() is sc.contention_tables()
+
+    def test_machine_all_routes_primes_path_cache(self):
+        machine = Machine.mesh(3, 3)
+        routes = machine.all_routes()
+        assert machine.route(0, 8) == routes[0][8]
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2 through both engines
+# --------------------------------------------------------------------------- #
+
+
+def test_figure2_chart_identical_on_both_engines():
+    from repro.experiments.figure2 import run_figure2
+
+    fast = run_figure2(seed=0, width=80, fast=True)
+    ref = run_figure2(seed=0, width=80, fast=False)
+    assert fast.chart == ref.chart
+    assert fast.result.fingerprint() == ref.result.fingerprint()
+    assert fast.result.trace.overhead_records == ref.result.trace.overhead_records
+
+
+def test_runner_contention_smoke_path(capsys):
+    """``runner --fidelity contention`` regenerates the paper artifacts."""
+    from repro.experiments.runner import main
+
+    assert main(["--fidelity", "contention", "--programs", "NE"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2 - Newton-Euler" in out
+    assert "Figure 2" in out
+    assert "legend:" in out

@@ -10,7 +10,8 @@ object engine; these tests pin it three ways:
 * differentially under hypothesis — random DAGs × (homogeneous and
   heterogeneous) machines × every policy, fast vs reference fingerprints;
 * structurally — CSR layout, cost tables against the scalar equation-4
-  model, dispatch and the contention-fidelity guard.
+  model, dispatch and the custom-comm-model guard (the contention fidelity
+  has its own equivalence suite in ``test_contention_engine.py``).
 """
 
 from __future__ import annotations
@@ -235,7 +236,7 @@ class TestDifferentialEquivalence:
 
 
 # --------------------------------------------------------------------------- #
-# Dispatch and the contention-fidelity guard
+# Dispatch and the foldable-comm-model guard
 # --------------------------------------------------------------------------- #
 
 class _CustomComm(CommunicationModel):
@@ -244,21 +245,27 @@ class _CustomComm(CommunicationModel):
 
 
 class TestDispatch:
-    def test_fast_true_refuses_contention_fidelity(self, diamond_graph, hypercube8):
-        with pytest.raises(SimulationError, match="latency"):
-            simulate(diamond_graph, hypercube8, HLFScheduler(seed=0),
-                     fidelity="contention", fast=True)
+    def test_fast_true_accepts_contention_fidelity(self, diamond_graph, hypercube8):
+        """The fast engine covers contention; forcing it matches the oracle."""
+        fast = simulate(diamond_graph, hypercube8, HLFScheduler(seed=0),
+                        fidelity="contention", fast=True)
+        ref = simulate(diamond_graph, hypercube8, HLFScheduler(seed=0),
+                       fidelity="contention", fast=False)
+        assert fast.fingerprint() == ref.fingerprint()
 
     def test_fast_true_refuses_custom_comm_model(self, diamond_graph, hypercube8):
         with pytest.raises(SimulationError, match="fold"):
             simulate(diamond_graph, hypercube8, HLFScheduler(seed=0),
                      comm_model=_CustomComm(), fast=True)
 
-    def test_auto_dispatch_falls_back_on_contention(self, diamond_graph, hypercube8):
-        """fast=None silently uses the object engine for contention runs."""
-        result = simulate(diamond_graph, hypercube8, HLFScheduler(seed=0),
-                          fidelity="contention", record_trace=False)
+    def test_auto_dispatch_covers_contention(self, diamond_graph, hypercube8):
+        """fast=None sends traceless contention runs through the fast engine."""
+        sim = Simulator(diamond_graph, hypercube8, HLFScheduler(seed=0),
+                        fidelity="contention", record_trace=False)
+        assert sim._use_fast_engine()
+        result = sim.run()
         assert result.makespan > 0.0
+        assert result.fidelity == "contention"
 
     def test_auto_dispatch_falls_back_on_custom_model(self, diamond_graph, hypercube8):
         result = simulate(diamond_graph, hypercube8, HLFScheduler(seed=0),
