@@ -53,6 +53,9 @@ FLOOR_CHECKS = {
     "BENCH_fidelity.json": [
         ("contention_sweep_speedup", "min_speedup_asserted"),
     ],
+    "BENCH_batch.json": [
+        ("sweep_speedup", "min_speedup_asserted"),
+    ],
 }
 
 

@@ -10,7 +10,9 @@ selects the simulator model used for Table 2 ("latency" — the default the SA
 cost function assumes — or the contention-aware "contention" model).
 ``--hetero`` appends a heterogeneous-machines extension study (speed spreads
 {1x, 2x, 4x} on weighted ring/mesh/hypercube interconnects) that goes beyond
-the paper's identical-processor setup.
+the paper's identical-processor setup; ``--lanes B`` runs that sweep's cells
+as lock-step lanes of the batched engine (processes × lanes, results
+bit-identical).
 """
 
 from __future__ import annotations
@@ -26,12 +28,15 @@ from repro.experiments.table2 import format_table2
 __all__ = ["run_all", "run_hetero_study", "main"]
 
 
-def run_hetero_study(seed: int = 0, jobs: int = 1, n_seeds: int = 3) -> str:
+def run_hetero_study(
+    seed: int = 0, jobs: int = 1, n_seeds: int = 3, lanes: int = 1
+) -> str:
     """A small heterogeneous-machines sweep rendered as a report section.
 
     Runs HLF, ETF and SA over the 9-machine heterogeneous grid (speed spreads
     × weighted topologies) on *n_seeds* layered random graphs per machine and
-    returns the aggregate table.
+    returns the aggregate table.  *lanes* batches compatible cells through
+    the lock-step engine (processes × lanes, bit-identical results).
     """
     from repro.experiments.sweep import HETERO_MACHINES, format_sweep_report, run_sweep
 
@@ -42,6 +47,7 @@ def run_hetero_study(seed: int = 0, jobs: int = 1, n_seeds: int = 3) -> str:
         n_seeds=n_seeds,
         base_seed=seed,
         jobs=jobs,
+        lanes=lanes,
     )
     header = (
         "Extension - heterogeneous machines "
@@ -56,6 +62,7 @@ def run_all(
     jobs: int = 1,
     fidelity: str = "latency",
     hetero: bool = False,
+    lanes: int = 1,
 ) -> str:
     """Regenerate every table and figure and return the combined report text."""
     sections = [
@@ -69,7 +76,7 @@ def run_all(
         run_figure2(seed=seed).chart,
     ]
     if hetero:
-        sections.extend(["", run_hetero_study(seed=seed, jobs=jobs)])
+        sections.extend(["", run_hetero_study(seed=seed, jobs=jobs, lanes=lanes)])
     return "\n".join(sections)
 
 
@@ -99,7 +106,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="append the heterogeneous-machines extension study",
     )
+    parser.add_argument(
+        "--lanes",
+        type=int,
+        default=1,
+        help=(
+            "lock-step lanes per batched-engine call in the --hetero sweep "
+            "(composes with --jobs as processes x lanes; results identical)"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.lanes < 1:
+        parser.error(f"--lanes must be >= 1, got {args.lanes}")
     print(
         run_all(
             seed=args.seed,
@@ -107,6 +125,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
             fidelity=args.fidelity,
             hetero=args.hetero,
+            lanes=args.lanes,
         )
     )
     return 0

@@ -44,12 +44,24 @@ both and diffs the cells::
     python -m repro.experiments.sweep --fidelity contention --jobs 4 \
         --families dag200 --out contention.json
 
+``--lanes B`` batches up to B compatible cells as lock-step lanes of one
+batched-engine call per worker (``sim/batch_engine.py``), composing with
+``--jobs`` as processes × lanes — the grid becomes ``ceil(cells/lanes)``
+groups distributed over the pool.  Lanes change scheduling, never numbers:
+every lane is bit-identical to its solo fast-engine run.  SA ``--replicas``
+rows and ``--engine object`` sweeps stay solo::
+
+    python -m repro.experiments.sweep --families dag200 --seeds 64 \
+        --jobs 4 --lanes 32 --out dag200.json
+
 Workers memoize the deterministic graph/machine builders per process, so the
 compiled-scenario cache (``sim/compile.py``) hits across the specs a worker
-runs back to back; the report's ``meta.compile_cache`` counts those
-hits/misses and ``meta.n_fallback_epochs`` counts fast-engine epochs that had
-to materialize a reference ``PacketContext`` (0 when every policy ran through
-an index-space kernel).
+runs back to back; the report's ``meta.compile_cache`` aggregates those
+hits/misses across worker processes (with the distinct worker count),
+``meta.n_fallback_epochs`` counts fast-engine epochs that had to materialize
+a reference ``PacketContext`` (0 when every policy ran through an
+index-space kernel), and ``meta.lanes`` records the lane/batch configuration
+with per-lane fallback counts.
 
 The module also exposes :func:`parallel_map`, the pool helper the other
 experiment drivers (e.g. Table 2 with ``--jobs``) reuse.
@@ -75,8 +87,9 @@ from repro.schedulers.fifo import FIFOScheduler
 from repro.schedulers.hlf import HLFScheduler
 from repro.schedulers.lpt import LPTScheduler
 from repro.schedulers.random_policy import RandomScheduler
-from repro.sim.compile import scenario_cache_stats
+from repro.sim.compile import compile_scenario, scenario_cache_stats
 from repro.sim.engine import simulate
+from repro.sim.fast_engine import run_lanes
 from repro.taskgraph.generators import layered_random, random_dag
 from repro.utils.tabulate import format_table
 
@@ -89,6 +102,7 @@ __all__ = [
     "hetero_machine",
     "build_grid",
     "run_scenario",
+    "run_lane_group",
     "run_sweep",
     "parallel_map",
     "format_sweep_report",
@@ -359,7 +373,73 @@ def run_scenario(spec: dict) -> dict:
     row["compile_cache_hits"] = cache_after["hits"] - cache_before["hits"]
     row["compile_cache_misses"] = cache_after["misses"] - cache_before["misses"]
     row["runtime_s"] = time.perf_counter() - start
+    row["worker_pid"] = os.getpid()
     return row
+
+
+def run_lane_group(specs: List[dict]) -> List[dict]:
+    """Run a chunk of scenario specs as lanes of one batched-engine call.
+
+    The lane counterpart of :func:`run_scenario` (the pool worker behind
+    ``--lanes``): every spec is compiled through the per-worker scenario
+    memo and the whole chunk is handed to
+    :func:`~repro.sim.fast_engine.run_lanes` as one lock-step group — each
+    lane bit-identical to the solo run :func:`run_scenario` would have
+    produced.  Any failure while building or running the group falls back to
+    solo :func:`run_scenario` runs, so one poisoned cell cannot take down
+    its group (and its error lands in its own row).  The group's wall time
+    is split evenly across its rows; per-lane attribution inside one batched
+    call has no meaning.
+    """
+    start = time.perf_counter()
+    rows = [dict(spec) for spec in specs]
+    try:
+        lanes = []
+        graphs = []
+        for row in rows:
+            cache_before = scenario_cache_stats()
+            graph = _cached_graph(row["family"], row["graph_seed"])
+            machine = _cached_machine(row["machine"])
+            policy = POLICY_BUILDERS[row["policy"]](row["policy_seed"])
+            comm_model = (
+                LinearCommModel() if row["with_comm"] else ZeroCommModel()
+            )
+            graph.validate()
+            policy.reset()
+            scenario = compile_scenario(
+                graph, machine, comm_model, levels=graph.levels()
+            )
+            cache_after = scenario_cache_stats()
+            row["compile_cache_hits"] = cache_after["hits"] - cache_before["hits"]
+            row["compile_cache_misses"] = (
+                cache_after["misses"] - cache_before["misses"]
+            )
+            lanes.append((scenario, policy))
+            graphs.append(graph)
+        results = run_lanes(lanes, fidelity=specs[0].get("fidelity", "latency"))
+    except Exception:  # pragma: no cover - defensive
+        return [run_scenario(spec) for spec in specs]
+    per_lane_s = (time.perf_counter() - start) / len(rows)
+    pid = os.getpid()
+    for row, graph, result in zip(rows, graphs, results):
+        row.update(
+            makespan=result.makespan,
+            speedup=result.speedup(),
+            n_tasks=graph.n_tasks,
+            n_packets=result.n_packets,
+            n_fallback_epochs=result.n_fallback_epochs,
+            error=None,
+            runtime_s=per_lane_s,
+            worker_pid=pid,
+        )
+    return rows
+
+
+def _run_sweep_item(item) -> List[dict]:
+    """Pool worker: one spec dict, or a list of specs run as one lane group."""
+    if isinstance(item, dict):
+        return [run_scenario(item)]
+    return run_lane_group(item)
 
 
 def parallel_map(fn: Callable[[dict], dict], items: Iterable[dict], jobs: int = 1) -> List[dict]:
@@ -424,6 +504,7 @@ def run_sweep(
     out: Optional[str] = None,
     fast: Optional[bool] = None,
     replicas: Optional[int] = None,
+    lanes: int = 1,
 ) -> dict:
     """Run the whole scenario grid and return (optionally write) the report.
 
@@ -437,11 +518,24 @@ def run_sweep(
     bit-for-bit identical.  *replicas* turns on batched multi-start
     annealing for the SA rows (``--replicas`` on the CLI).
 
+    *lanes* batches up to that many cells as lock-step lanes of one
+    batched-engine call per worker (:func:`run_lane_group`), composing with
+    *jobs* as processes × lanes: the grid is cut into ``ceil(cells/lanes)``
+    groups and the pool distributes groups over workers.  The count is
+    capped at the cell count; SA replica rows and ``fast=False`` sweeps stay
+    solo (the batched engine is a fast-engine tier).  Lanes change how the
+    work is scheduled, never the numbers — every lane is bit-identical to
+    its solo run.
+
     ``meta`` also surfaces how the work was produced: the total
-    compiled-scenario cache hits/misses across workers (the per-worker memo
-    added in this module) and the total fast-engine fallback epochs (0 when
-    every policy ran through an index-space kernel).
+    compiled-scenario cache hits/misses aggregated across worker processes
+    (``meta.compile_cache``, with the distinct worker count), the total
+    fast-engine fallback epochs (0 when every policy ran through an
+    index-space kernel) and the lane/batch configuration including per-lane
+    fallback counts (``meta.lanes``).
     """
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1, got {lanes}")
     grid = build_grid(
         policies=policies,
         machines=machines,
@@ -453,9 +547,40 @@ def run_sweep(
         fast=fast,
         replicas=replicas,
     )
+    # Auto-cap at the cell count; only fast-engine-eligible cells (no SA
+    # replica fan-out, engine not pinned to the object path) ride lanes.
+    effective_lanes = max(1, min(lanes, len(grid)))
+    for index, spec in enumerate(grid):
+        spec["_index"] = index
+    lane_indices: List[int] = []
+    if effective_lanes > 1 and fast is not False:
+        lane_indices = [
+            i for i, spec in enumerate(grid) if spec["replicas"] is None
+        ]
+    items: List[object]
+    if lane_indices:
+        solo = set(range(len(grid))) - set(lane_indices)
+        items = [
+            [grid[i] for i in lane_indices[k : k + effective_lanes]]
+            for k in range(0, len(lane_indices), effective_lanes)
+        ]
+        items.extend(grid[i] for i in sorted(solo))
+    else:
+        effective_lanes = 1
+        items = list(grid)
+    n_groups = sum(1 for item in items if isinstance(item, list))
     wall_start = time.perf_counter()
-    rows = parallel_map(run_scenario, grid, jobs=jobs)
+    rows = [
+        row for chunk in parallel_map(_run_sweep_item, items, jobs=jobs)
+        for row in chunk
+    ]
     wall = time.perf_counter() - wall_start
+    rows.sort(key=lambda r: r["_index"])
+    per_lane_fallback = [
+        int(rows[i].get("n_fallback_epochs") or 0) for i in lane_indices
+    ]
+    for row in rows:
+        del row["_index"]
     report = {
         "meta": {
             "n_simulations": len(rows),
@@ -478,6 +603,20 @@ def run_sweep(
             "compile_cache": {
                 "hits": sum(r.get("compile_cache_hits", 0) for r in rows),
                 "misses": sum(r.get("compile_cache_misses", 0) for r in rows),
+                "n_workers": len(
+                    {
+                        r["worker_pid"]
+                        for r in rows
+                        if r.get("worker_pid") is not None
+                    }
+                ),
+            },
+            "lanes": {
+                "requested": lanes,
+                "effective": effective_lanes,
+                "n_groups": n_groups,
+                "n_lane_rows": len(lane_indices),
+                "per_lane_fallback_epochs": per_lane_fallback,
             },
         },
         "results": rows,
@@ -510,9 +649,15 @@ def format_sweep_report(report: dict) -> str:
         for a in report["aggregates"]
     ]
     meta = report["meta"]
+    lanes_meta = meta.get("lanes", {})
+    lanes_part = (
+        f" x {lanes_meta['effective']} lanes"
+        if lanes_meta.get("effective", 1) > 1
+        else ""
+    )
     title = (
         f"Sweep: {meta['n_simulations']} simulations "
-        f"({meta['jobs']} jobs, {meta['wall_time_s']:.1f}s wall, "
+        f"({meta['jobs']} jobs{lanes_part}, {meta['wall_time_s']:.1f}s wall, "
         f"{meta['total_cpu_time_s']:.1f}s cpu)"
     )
     return format_table(
@@ -527,6 +672,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Run a parallel scheduling-scenario sweep and write a JSON report."
     )
     parser.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    parser.add_argument(
+        "--lanes", type=int, default=1,
+        help=(
+            "batch up to this many compatible cells as lock-step lanes of one "
+            "batched-engine call per worker (composes with --jobs as "
+            "processes x lanes; auto-capped at the cell count; SA --replicas "
+            "rows and --engine object sweeps stay solo)"
+        ),
+    )
     parser.add_argument("--seeds", type=int, default=17, help="graph seeds per family")
     parser.add_argument("--base-seed", type=int, default=0, help="first graph/policy seed")
     parser.add_argument(
@@ -587,6 +741,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     comm = {"with": (True,), "without": (False,), "both": (False, True)}[args.comm]
     if args.replicas is not None and args.replicas < 1:
         parser.error(f"--replicas must be >= 1, got {args.replicas}")
+    if args.lanes < 1:
+        parser.error(f"--lanes must be >= 1, got {args.lanes}")
     if args.hetero and args.machines is not None:
         parser.error("--hetero selects the heterogeneous machine grid; drop --machines "
                      "or name hetero-* machines explicitly without --hetero")
@@ -610,6 +766,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         out=args.out,
         fast={"auto": None, "fast": True, "object": False}[args.engine],
         replicas=args.replicas,
+        lanes=args.lanes,
     )
     print(format_sweep_report(report))
     print(f"report written to {args.out}")

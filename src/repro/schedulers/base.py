@@ -12,12 +12,22 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
 
 from repro.comm.model import CommunicationModel, LinearCommModel
 from repro.exceptions import SchedulingError
 
-__all__ = ["PacketContext", "SchedulingPolicy", "validate_assignment", "fastest_first"]
+__all__ = [
+    "PacketContext",
+    "SchedulingPolicy",
+    "validate_assignment",
+    "fastest_first",
+    "stacked_ranks",
+    "nontrivial_ranks",
+    "rank_sorted",
+]
 
 TaskId = Hashable
 ProcId = int
@@ -135,6 +145,33 @@ class SchedulingPolicy(ABC):
         simulation will abort with a livelock error.
         """
 
+    def batch_assign(
+        self, epoch, policies: List["SchedulingPolicy"]
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Batched epoch assignment for the lock-step lane engine.
+
+        *epoch* is a :class:`~repro.sim.batch_engine.BatchEpoch` covering a
+        group of lanes that share this policy's configuration, and
+        *policies* the per-lane policy instances aligned with
+        ``epoch.lanes`` (``self`` is ``policies[0]``; per-lane stochastic
+        state such as RNG streams must be drawn from the matching
+        instance).  Returns three equal-length arrays ``(lanes, tasks,
+        procs)`` of global lane indices and lane-local task / processor
+        indices — entries of the same lane **must** appear in the order the
+        policy's solo path would place them (contention fidelity replays
+        placements in that order), while entries of different lanes may
+        interleave freely.
+
+        The contract extends :meth:`fast_assign` lane-wise: for every lane
+        the triples must reproduce exactly the assignment (and consume
+        exactly the RNG draws) the solo path would produce.  Returning
+        ``None`` (the default) declines the whole group for this epoch; the
+        engine then serves each lane through its :meth:`fast_assign` /
+        reference fallback, so a kernel must decline *before* consuming any
+        stochastic state.
+        """
+        return None
+
     def fast_assign(self, packet) -> Optional[Dict[int, ProcId]]:
         """Index-space epoch assignment for the compiled fast engine.
 
@@ -159,3 +196,54 @@ class SchedulingPolicy(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
+
+
+def stacked_ranks(keys: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Per-row rank of every column of *keys* in ascending stable order.
+
+    The building block of the static-priority batched kernels: a policy
+    whose selection is a stable sort of the ready list by a run-invariant
+    key (LPT's ``-duration``, HLF's ``-level``, fastest-first's
+    ``-speed``) precomputes each element's rank **once**; per epoch,
+    sorting a ready/idle subset by its ranks reproduces the solo path's
+    stable sort exactly (ranks are unique, and among equal keys the stable
+    argsort leaves lower indices ranked first — the solo tie-break).
+    Entries where *valid* is False (padding) rank after every real one.
+    """
+    keys = np.where(valid, keys, np.inf)
+    order = np.argsort(keys, axis=1, kind="stable")
+    ranks = np.empty_like(order)
+    rows = np.arange(keys.shape[0], dtype=np.intp)[:, None]
+    ranks[rows, order] = np.arange(keys.shape[1], dtype=np.intp)[None, :]
+    return ranks
+
+
+def nontrivial_ranks(keys: np.ndarray, valid: np.ndarray) -> Optional[np.ndarray]:
+    """:func:`stacked_ranks`, or ``None`` when the ranking is the identity.
+
+    A uniform key column (every processor the same speed, say) ranks every
+    row ``0..n-1``; sorting an already index-ordered padded set by identity
+    ranks is a no-op, so callers treat ``None`` as "keep the padded order"
+    and skip the per-epoch sort entirely.
+    """
+    ranks = stacked_ranks(keys, valid)
+    identity = np.arange(ranks.shape[1], dtype=np.intp)
+    if np.array_equal(ranks, np.broadcast_to(identity, ranks.shape)):
+        return None
+    return ranks
+
+
+def rank_sorted(
+    padded: np.ndarray, valid: np.ndarray, ranks: np.ndarray, lanes: np.ndarray
+) -> np.ndarray:
+    """Each row of *padded* reordered by its elements' precomputed *ranks*.
+
+    *padded*/*valid* are a :meth:`BatchEpoch.ready_padded`-style set matrix
+    for the group's lanes, *ranks* a full ``(n_lanes_total, width)`` rank
+    table, *lanes* the group's global lane indices.  Padding sorts last and
+    stays ignorable through the caller's valid-count truncation.
+    """
+    key = ranks[lanes[:, None], padded]
+    key = np.where(valid, key, np.iinfo(np.intp).max)
+    order = np.argsort(key, axis=1, kind="stable")
+    return padded[np.arange(padded.shape[0], dtype=np.intp)[:, None], order]

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.schedulers.base import PacketContext, SchedulingPolicy
 
-__all__ = ["ETFScheduler", "greedy_pair_order"]
+__all__ = ["ETFScheduler", "greedy_pair_order", "batch_greedy_pairs"]
 
 TaskId = Hashable
 ProcId = int
@@ -70,6 +70,82 @@ def greedy_pair_order(
         if len(pairs) == budget:
             break
     return pairs
+
+
+def batch_greedy_pairs(
+    est: np.ndarray,
+    neg_speed: np.ndarray,
+    neg_level: np.ndarray,
+    alive: np.ndarray,
+    budget: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Lane-parallel :func:`greedy_pair_order` over an ``(L, R, I)`` key tensor.
+
+    Runs every lane's greedy ETF matching simultaneously.  The key
+    ``(est, -speed, -level, row-major position)`` is static within the
+    epoch, so it is rank-compressed once — a per-lane stable ``lexsort``
+    whose positional fall-back is exactly the solo scan's tie-break — and
+    each greedy pass is then a single masked *integer* argmin: pass *k*
+    yields every lane's *k*-th pair, with the chosen row and column retired,
+    which per lane reproduces the solo first-fit scan over the sorted order.
+    The pass count is the largest per-lane pair count (at most
+    ``min(R, I)``), not the pair total.  Returns ``(lane_rows, task_rows,
+    proc_cols)`` positional triples in pass order; *alive* and *budget* are
+    consumed.
+    """
+    n_rows, _, width_i = est.shape
+    m = est.shape[1] * width_i
+    order = np.lexsort(
+        (
+            np.broadcast_to(neg_level[:, :, None], est.shape).reshape(n_rows, m),
+            np.broadcast_to(neg_speed[:, None, :], est.shape).reshape(n_rows, m),
+            est.reshape(n_rows, m),
+        ),
+        axis=-1,
+    )
+    # int32 ranks: half the memory traffic of the per-pass argmins, and any
+    # realistic epoch has far fewer than 2**31 (task, processor) pairs.
+    rank = np.empty((n_rows, m), dtype=np.int32)
+    rank[np.arange(n_rows)[:, None], order] = np.arange(m, dtype=np.int32)[None, :]
+    # Retirement happens in the rank domain: dead cells are bumped to m
+    # (past every live rank), so each pass is one argmin with no rebuilt
+    # key tensor.
+    cur = np.where(alive.reshape(n_rows, m), rank, np.int32(m))
+    col_block = np.arange(width_i, dtype=np.intp)
+    row_block = np.arange(est.shape[1], dtype=np.intp) * width_i
+    out_l: List[np.ndarray] = []
+    out_r: List[np.ndarray] = []
+    out_c: List[np.ndarray] = []
+    # Most lanes pair off in a couple of passes (the budget is the idle
+    # count, usually small); the long tail belongs to a few lanes.  Each
+    # pass therefore argmins only over the still-live lane rows, and lanes
+    # leave `live` — instead of having their row blanked — the moment their
+    # budget is spent or no alive cell remains.
+    live = np.arange(n_rows, dtype=np.intp)
+    while live.size:
+        sub = cur if live.size == n_rows else cur[live]
+        first = sub.argmin(axis=1)
+        keep = sub[np.arange(live.size, dtype=np.intp), first] < m
+        if not keep.all():
+            live = live[keep]
+            if not live.size:
+                break
+            first = first[keep]
+        rows = first // width_i
+        cols = first % width_i
+        out_l.append(live)
+        out_r.append(rows)
+        out_c.append(cols)
+        cur[live[:, None], rows[:, None] * width_i + col_block[None, :]] = m
+        cur[live[:, None], cols[:, None] + row_block[None, :]] = m
+        budget[live] -= 1
+        cont = budget[live] > 0
+        if not cont.all():
+            live = live[cont]
+    if not out_l:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty, empty
+    return np.concatenate(out_l), np.concatenate(out_r), np.concatenate(out_c)
 
 
 class ETFScheduler(SchedulingPolicy):
@@ -176,3 +252,42 @@ class ETFScheduler(SchedulingPolicy):
             packet.ready[i]: packet.idle[j]
             for i, j in greedy_pair_order(est, speeds, levels)
         }
+
+    def batch_assign(self, epoch, policies):
+        """Lane-batched ETF: shared arrival-row cache + parallel greedy passes.
+
+        The solo kernel's run-long arrival-row invariant lifts lane-wise: a
+        ``(B, n_max, p_max)`` row cache lives in the group's epoch cache,
+        missing ``(lane, task)`` rows are filled by one batched gather the
+        first epoch the task shows up ready, and the greedy matching of all
+        lanes resolves together in :func:`batch_greedy_pairs` — per lane the
+        same pairs, in the same order, as :func:`greedy_pair_order`.
+        """
+        st = epoch.stacked
+        lanes = epoch.lanes
+        cached = epoch.cache.get("rows")
+        if cached is None:
+            cached = epoch.cache["rows"] = (
+                np.zeros((st.n_lanes, st.n_max), dtype=bool),
+                np.empty((st.n_lanes, st.n_max, st.p_max), dtype=np.float64),
+            )
+        have, rows = cached
+        ready_pad, rvalid, rcounts = epoch.ready_padded()
+        idle_pad, ivalid, icounts = epoch.idle_padded()
+        pair_lanes = np.repeat(lanes, rcounts)
+        pair_tasks = ready_pad[rvalid]  # row-major: matches the repeat order
+        need = ~have[pair_lanes, pair_tasks]
+        if need.any():
+            new_lanes, new_tasks = pair_lanes[need], pair_tasks[need]
+            rows[new_lanes, new_tasks] = epoch.arrival_rows(new_lanes, new_tasks)
+            have[new_lanes, new_tasks] = True
+        est = rows[lanes[:, None, None], ready_pad[:, :, None], idle_pad[:, None, :]]
+        est = np.maximum(est, epoch.now[:, None, None])
+        neg_speed = np.where(ivalid, -st.speeds[lanes[:, None], idle_pad], np.inf)
+        neg_level = np.where(rvalid, -st.levels[lanes[:, None], ready_pad], np.inf)
+        alive = rvalid[:, :, None] & ivalid[:, None, :]
+        budget = np.minimum(rcounts, icounts).astype(np.intp)
+        sel_l, sel_r, sel_c = batch_greedy_pairs(
+            est, neg_speed, neg_level, alive, budget
+        )
+        return lanes[sel_l], ready_pad[sel_l, sel_r], idle_pad[sel_l, sel_c]

@@ -38,7 +38,13 @@ from typing import Dict, Hashable, List, Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError
-from repro.schedulers.base import PacketContext, SchedulingPolicy, fastest_first
+from repro.schedulers.base import (
+    PacketContext,
+    SchedulingPolicy,
+    fastest_first,
+    nontrivial_ranks,
+    rank_sorted,
+)
 from repro.utils.rng import SeedLike, as_rng
 
 __all__ = ["HLFScheduler"]
@@ -131,6 +137,64 @@ class HLFScheduler(SchedulingPolicy):
             perm = self._rng.permutation(len(idle))
             return dict(zip(selected, (idle[int(i)] for i in perm)))
         return self._fast_min_comm(packet, selected)
+
+    def batch_assign(self, epoch, policies):
+        """Lane-batched HLF: precomputed level ranks + vectorized placement.
+
+        Selection is one rank-gather argsort per epoch (see
+        :func:`~repro.schedulers.base.stacked_ranks` — equal levels keep
+        index order exactly like the solo stable sort); ``"index"`` places
+        straight onto the padded idle rows, ``"fastest"`` through the
+        speed-rank table, and ``"arbitrary"`` draws each lane's
+        ``permutation(n_idle)`` from that lane's own RNG — the solo draw,
+        stream for stream.  ``"min_comm"`` declines (before any draw): its
+        sequential greedy runs per lane through :meth:`fast_assign`.
+        """
+        if self.placement == "min_comm":
+            return None
+        st = epoch.stacked
+        lanes = epoch.lanes
+        ranks = epoch.cache.get("ranks")
+        if ranks is None:
+            ranks = epoch.cache["ranks"] = (
+                nontrivial_ranks(-st.levels, st.task_valid),
+                nontrivial_ranks(-st.speeds, st.proc_valid)
+                if self.placement == "fastest"
+                else None,
+            )
+        level_rank, speed_rank = ranks
+        ready_pad, rvalid, rcounts = epoch.ready_padded()
+        idle_pad, ivalid, icounts = epoch.idle_padded()
+        tasks_sel = (
+            ready_pad
+            if level_rank is None
+            else rank_sorted(ready_pad, rvalid, level_rank, lanes)
+        )
+        if self.placement == "index" or (
+            self.placement == "fastest" and speed_rank is None
+        ):
+            procs_sel = idle_pad
+        elif self.placement == "fastest":
+            procs_sel = rank_sorted(idle_pad, ivalid, speed_rank, lanes)
+        else:  # arbitrary
+            # One permutation draw per lane (the solo stream), one batched
+            # gather for all of them.  ``shuffle(arange(n))`` is exactly
+            # ``permutation(n)`` stream-wise, and a length-0/1 shuffle
+            # consumes no stream state at all, so those lanes skip the call.
+            col = np.tile(
+                np.arange(idle_pad.shape[1], dtype=np.intp), (len(lanes), 1)
+            )
+            for row, n_idle in enumerate(icounts.tolist()):
+                if n_idle > 1:
+                    perm = np.arange(n_idle, dtype=np.intp)
+                    policies[row]._rng.shuffle(perm)
+                    col[row, :n_idle] = perm
+            procs_sel = idle_pad[
+                np.arange(len(lanes), dtype=np.intp)[:, None], col
+            ]
+        k = np.minimum(rcounts, icounts)
+        li, pos = np.nonzero(np.arange(tasks_sel.shape[1])[None, :] < k[:, None])
+        return lanes[li], tasks_sel[li, pos], procs_sel[li, pos]
 
     def _fast_min_comm(self, packet, selected: List[int]) -> Dict[int, ProcId]:
         """Greedy min-comm placement over the compiled per-edge cost tables.

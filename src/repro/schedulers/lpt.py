@@ -15,7 +15,15 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Optional
 
-from repro.schedulers.base import PacketContext, SchedulingPolicy, fastest_first
+import numpy as np
+
+from repro.schedulers.base import (
+    PacketContext,
+    SchedulingPolicy,
+    fastest_first,
+    nontrivial_ranks,
+    rank_sorted,
+)
 
 __all__ = ["LPTScheduler"]
 
@@ -52,3 +60,37 @@ class LPTScheduler(SchedulingPolicy):
         selected = sorted(packet.ready, key=lambda ti: -durations[ti])[: packet.n_idle]
         procs = sorted(packet.idle, key=lambda p: (-speeds[p], p))
         return dict(zip(selected, procs))
+
+    def batch_assign(self, epoch, policies):
+        """Lane-batched LPT: duration-rank selection, speed-rank placement.
+
+        Both orders are run-invariant, so they are ranked once per group
+        (:func:`~repro.schedulers.base.nontrivial_ranks`) and every epoch
+        is at most two rank-gather argsorts — per lane exactly the solo
+        stable sorts; an identity ranking (homogeneous speeds, say) skips
+        its sort outright because the padded rows are already index-ordered.
+        """
+        st = epoch.stacked
+        lanes = epoch.lanes
+        ranks = epoch.cache.get("ranks")
+        if ranks is None:
+            ranks = epoch.cache["ranks"] = (
+                nontrivial_ranks(-st.durations, st.task_valid),
+                nontrivial_ranks(-st.speeds, st.proc_valid),
+            )
+        duration_rank, speed_rank = ranks
+        ready_pad, rvalid, rcounts = epoch.ready_padded()
+        idle_pad, ivalid, icounts = epoch.idle_padded()
+        tasks_sel = (
+            ready_pad
+            if duration_rank is None
+            else rank_sorted(ready_pad, rvalid, duration_rank, lanes)
+        )
+        procs_sel = (
+            idle_pad
+            if speed_rank is None
+            else rank_sorted(idle_pad, ivalid, speed_rank, lanes)
+        )
+        k = np.minimum(rcounts, icounts)
+        li, pos = np.nonzero(np.arange(tasks_sel.shape[1])[None, :] < k[:, None])
+        return lanes[li], tasks_sel[li, pos], procs_sel[li, pos]

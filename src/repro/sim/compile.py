@@ -46,7 +46,9 @@ __all__ = [
     "CompiledScenario",
     "ContentionTables",
     "FastPacket",
+    "StackedScenarios",
     "compile_scenario",
+    "stack_scenarios",
     "supports_comm_model",
     "scenario_cache_stats",
 ]
@@ -464,3 +466,189 @@ class FastPacket:
         """
         rows = self.arrival_rows(self.ready)[:, np.asarray(self.idle, dtype=np.intp)]
         return np.maximum(rows, self.time)
+
+
+@dataclass
+class StackedScenarios:
+    """B compiled scenarios stacked into padded lane-major tables.
+
+    The batched engine (:mod:`repro.sim.batch_engine`) advances B independent
+    sweep cells in lock step over ``(B, n_max)`` / ``(B, p_max)`` state
+    matrices; this structure holds everything immutable those kernels index:
+
+    * per-lane durations / levels / speeds, zero- (speed: one-) padded to the
+      widest lane, with ``n_tasks`` / ``n_procs`` giving each lane's true
+      extent (``task_valid`` / ``proc_valid`` are the matching masks);
+    * predecessor and successor adjacency as **shared flat** CSR arrays:
+      ``pred_start[b, t]`` / ``pred_count[b, t]`` address a contiguous run of
+      ``pred_ids`` (lane-local task indices).  Lanes built from the *same*
+      compiled scenario point into the same run, so duplicated cells cost
+      nothing extra;
+    * the equation-4 cost tensors of all lanes raveled into one
+      ``cost_flat`` vector.  ``cost_offset[g]`` is the base of predecessor
+      entry *g*'s ``(P_b, P_b)`` table, so
+      ``cost_flat[cost_offset[g] + src * n_procs[lane] + dst]`` reproduces
+      ``CompiledScenario.edge_cost`` bit for bit.  Entries of
+      zero-communication lanes point at a leading all-zero ``p_max**2``
+      block, which lets the engine's gather run unmasked (``finish + 0.0``
+      matches the solo engine's zero-model arithmetic exactly).
+
+    The per-lane :class:`CompiledScenario` objects stay reachable through
+    ``scenarios`` — the batch engine reads their contention tables, task ids
+    and graph/machine metadata for per-lane work and result assembly.
+    """
+
+    scenarios: List["CompiledScenario"]
+    n_lanes: int
+    n_max: int
+    p_max: int
+    n_tasks: np.ndarray
+    n_procs: np.ndarray
+    durations: np.ndarray
+    levels: np.ndarray
+    speeds: np.ndarray
+    pred_start: np.ndarray
+    pred_count: np.ndarray
+    pred_ids: np.ndarray
+    cost_offset: np.ndarray
+    succ_start: np.ndarray
+    succ_count: np.ndarray
+    succ_ids: np.ndarray
+    comm_on: np.ndarray
+    cost_flat: np.ndarray
+    _task_valid: Optional[np.ndarray] = field(repr=False, default=None)
+    _proc_valid: Optional[np.ndarray] = field(repr=False, default=None)
+
+    @property
+    def task_valid(self) -> np.ndarray:
+        """Boolean ``(B, n_max)`` mask of real (non-padding) task slots."""
+        mask = self._task_valid
+        if mask is None:
+            mask = self._task_valid = (
+                np.arange(self.n_max)[None, :] < self.n_tasks[:, None]
+            )
+        return mask
+
+    @property
+    def proc_valid(self) -> np.ndarray:
+        """Boolean ``(B, p_max)`` mask of real (non-padding) processor slots."""
+        mask = self._proc_valid
+        if mask is None:
+            mask = self._proc_valid = (
+                np.arange(self.p_max)[None, :] < self.n_procs[:, None]
+            )
+        return mask
+
+
+#: Stacked-table memo: sweeps and benchmarks re-run the same lane group
+#: (e.g. timing repeats), and restacking is a large copy.  Keyed by the
+#: identity tuple of the member scenarios — the entry holds strong
+#: references to them, so the ids cannot be recycled while the entry lives —
+#: and FIFO-bounded like the per-graph scenario cache.
+_STACK_CACHE: Dict[tuple, StackedScenarios] = {}
+_STACK_CACHE_SIZE = 4
+
+
+def stack_scenarios(scenarios: List["CompiledScenario"]) -> StackedScenarios:
+    """Stack *scenarios* (one per lane) into :class:`StackedScenarios` tables.
+
+    The input scenarios normally come straight from the memoized
+    :func:`compile_scenario`, so stacking the same lane group twice (repeat
+    timings, resumed sweeps) hits both memo layers and costs two tuple
+    lookups.  Lanes may repeat a scenario object; its adjacency and cost
+    blocks are then shared rather than copied.
+    """
+    if not scenarios:
+        raise ValueError("cannot stack an empty scenario list")
+    key = tuple(id(sc) for sc in scenarios)
+    cached = _STACK_CACHE.get(key)
+    if cached is not None and all(
+        a is b for a, b in zip(cached.scenarios, scenarios)
+    ):
+        return cached
+
+    n_lanes = len(scenarios)
+    n_tasks = np.array([sc.n_tasks for sc in scenarios], dtype=np.intp)
+    n_procs = np.array([sc.n_procs for sc in scenarios], dtype=np.intp)
+    n_max = max(1, int(n_tasks.max()))
+    p_max = max(1, int(n_procs.max()))
+
+    durations = np.zeros((n_lanes, n_max), dtype=np.float64)
+    levels = np.zeros((n_lanes, n_max), dtype=np.float64)
+    speeds = np.ones((n_lanes, p_max), dtype=np.float64)
+    pred_start = np.zeros((n_lanes, n_max), dtype=np.intp)
+    pred_count = np.zeros((n_lanes, n_max), dtype=np.intp)
+    succ_start = np.zeros((n_lanes, n_max), dtype=np.intp)
+    succ_count = np.zeros((n_lanes, n_max), dtype=np.intp)
+    comm_on = np.array([sc.comm_enabled for sc in scenarios], dtype=bool)
+
+    # Shared flat blocks, deduplicated by scenario identity.  The zero block
+    # at the head of ``cost_flat`` serves every zero-communication entry.
+    pred_parts: List[np.ndarray] = []
+    succ_parts: List[np.ndarray] = []
+    off_parts: List[np.ndarray] = []
+    cost_parts: List[np.ndarray] = [np.zeros(p_max * p_max, dtype=np.float64)]
+    pred_len = succ_len = 0
+    cost_len = p_max * p_max
+    blocks: Dict[int, tuple] = {}
+    for b, sc in enumerate(scenarios):
+        block = blocks.get(id(sc))
+        if block is None:
+            n_edges = len(sc.pred_ids)
+            pred_parts.append(sc.pred_ids)
+            succ_parts.append(sc.succ_ids)
+            if sc._pred_costs is None:
+                off_parts.append(np.zeros(n_edges, dtype=np.intp))
+            else:
+                p_sq = sc.n_procs * sc.n_procs
+                off_parts.append(
+                    cost_len + np.arange(n_edges, dtype=np.intp) * p_sq
+                )
+                cost_parts.append(sc._pred_costs.reshape(-1))
+                cost_len += n_edges * p_sq
+            block = blocks[id(sc)] = (pred_len, succ_len)
+            pred_len += n_edges
+            succ_len += len(sc.succ_ids)
+        pred_base, succ_base = block
+        n = sc.n_tasks
+        durations[b, :n] = sc.durations
+        levels[b, :n] = sc.levels
+        speeds[b, : sc.n_procs] = sc.speeds
+        pred_start[b, :n] = pred_base + sc.pred_indptr[:-1]
+        pred_count[b, :n] = sc.pred_indptr[1:] - sc.pred_indptr[:-1]
+        succ_start[b, :n] = succ_base + sc.succ_indptr[:-1]
+        succ_count[b, :n] = sc.succ_indptr[1:] - sc.succ_indptr[:-1]
+
+    stacked = StackedScenarios(
+        scenarios=list(scenarios),
+        n_lanes=n_lanes,
+        n_max=n_max,
+        p_max=p_max,
+        n_tasks=n_tasks,
+        n_procs=n_procs,
+        durations=durations,
+        levels=levels,
+        speeds=speeds,
+        pred_start=pred_start,
+        pred_count=pred_count,
+        pred_ids=(
+            np.concatenate(pred_parts) if pred_parts else np.empty(0, dtype=np.intp)
+        ).astype(np.intp, copy=False),
+        cost_offset=(
+            np.concatenate(off_parts) if off_parts else np.empty(0, dtype=np.intp)
+        ).astype(np.intp, copy=False),
+        succ_start=succ_start,
+        succ_count=succ_count,
+        succ_ids=(
+            np.concatenate(succ_parts) if succ_parts else np.empty(0, dtype=np.intp)
+        ).astype(np.intp, copy=False),
+        comm_on=comm_on,
+        # The trailing zero block keeps full-width row gathers
+        # (``base + arange(p_max)``) in bounds for the narrowest lane's last
+        # cost row without clamping; gathered pad columns are never read.
+        cost_flat=np.concatenate(cost_parts + [np.zeros(p_max, dtype=np.float64)]),
+    )
+    while len(_STACK_CACHE) >= _STACK_CACHE_SIZE:
+        _STACK_CACHE.pop(next(iter(_STACK_CACHE)))
+    _STACK_CACHE[key] = stacked
+    return stacked

@@ -60,7 +60,7 @@ from repro.sim.message import MessageRecord
 from repro.sim.results import SimulationResult
 from repro.sim.trace import ExecutionTrace, OverheadRecord, TaskRecord
 
-__all__ = ["run_compiled"]
+__all__ = ["run_compiled", "run_lanes"]
 
 TaskId = Hashable
 ProcId = int
@@ -101,6 +101,30 @@ def _validate_fast_assignment(
         if proc in seen:
             raise SchedulingError(f"processor {proc!r} assigned more than one task")
         seen.add(proc)
+
+
+def run_lanes(
+    lanes: List[tuple],
+    fidelity: str = "latency",
+) -> List[SimulationResult]:
+    """Run a group of ``(scenario, policy)`` lanes, batched when it pays.
+
+    The lane dispatcher between the two compiled engines: a single lane has
+    nothing to amortize and runs through :func:`run_compiled` (the solo
+    fallback — also the reference each batched lane is bit-identical to);
+    larger groups go to the lock-step batched engine
+    (:func:`~repro.sim.batch_engine.run_batch`).  As with
+    :func:`run_compiled`, the caller is responsible for ``policy.reset()``
+    and graph validation.
+    """
+    if not lanes:
+        return []
+    if len(lanes) == 1:
+        scenario, policy = lanes[0]
+        return [run_compiled(scenario, policy, fidelity=fidelity)]
+    from repro.sim.batch_engine import run_batch
+
+    return run_batch(lanes, fidelity=fidelity)
 
 
 def run_compiled(

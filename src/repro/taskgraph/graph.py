@@ -62,6 +62,8 @@ class TaskGraph:
         # all mutations go through the methods below).
         self._version = 0
         self._validated_version = -1
+        self._total_work_version = -1
+        self._total_work = 0.0
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -207,8 +209,16 @@ class TaskGraph:
         return len(self._succ[task_id])
 
     def total_work(self) -> float:
-        """Sum of all task durations (the serial execution time ``T_1``)."""
-        return float(sum(t.duration for t in self._tasks.values()))
+        """Sum of all task durations (the serial execution time ``T_1``).
+
+        Memoized on the structural version: every simulation result reads
+        it, so a batched sweep would otherwise re-sum the same graph once
+        per lane.
+        """
+        if self._total_work_version != self._version:
+            self._total_work = float(sum(t.duration for t in self._tasks.values()))
+            self._total_work_version = self._version
+        return self._total_work
 
     def total_communication(self) -> float:
         """Sum of all edge communication weights."""

@@ -1,0 +1,407 @@
+"""The batched lane engine: lane-wise bit-identity with the solo fast engine.
+
+The batch engine's contract is that every lane of a lock-step run is
+**bit-identical** to a solo :func:`run_compiled` run of the same cell; these
+tests pin it four ways:
+
+* differentially under hypothesis — batches of 2-5 mixed lanes (random
+  graphs × homogeneous and heterogeneous machines × every kernelized policy
+  × comm on/off), raw fingerprint equality per lane at both fidelities;
+* structurally — lane-count dispatch (B ∈ {1, 3, 8}), ragged lane shapes,
+  mixed-policy batches, SA lanes, and the per-lane materialized-context
+  fallback (``n_fallback_epochs`` parity with the solo engine);
+* defensively — the batched kernel validator rejects malformed
+  ``batch_assign`` triples with :class:`SchedulingError`;
+* at the API surface — :func:`simulate_batch` cell ordering, the bad-fidelity
+  guard and the unfoldable-comm-model solo fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.comm.model import CommunicationModel, LinearCommModel, ZeroCommModel
+from repro.core.config import SAConfig
+from repro.core.sa_scheduler import SAScheduler
+from repro.exceptions import SchedulingError, SimulationError
+from repro.machine.machine import Machine
+from repro.schedulers.base import SchedulingPolicy
+from repro.schedulers.etf import ETFScheduler
+from repro.schedulers.fifo import FIFOScheduler
+from repro.schedulers.hlf import HLFScheduler
+from repro.schedulers.lpt import LPTScheduler
+from repro.schedulers.random_policy import RandomScheduler
+from repro.sim.batch_engine import run_batch, simulate_batch
+from repro.sim.compile import compile_scenario
+from repro.sim.engine import simulate
+from repro.sim.fast_engine import run_compiled, run_lanes
+from repro.taskgraph.generators import layered_random, random_dag
+from repro.taskgraph.graph import TaskGraph
+
+# --------------------------------------------------------------------------- #
+# Shared builders
+# --------------------------------------------------------------------------- #
+
+_POLICY_FACTORIES = {
+    "ETF": lambda seed: ETFScheduler(),
+    "HLF": lambda seed: HLFScheduler(seed=seed),
+    "HLF/min-comm": lambda seed: HLFScheduler(placement="min_comm"),
+    "HLF/fastest": lambda seed: HLFScheduler(placement="fastest"),
+    "HLF/index": lambda seed: HLFScheduler(placement="index"),
+    "LPT": lambda seed: LPTScheduler(),
+    "FIFO": lambda seed: FIFOScheduler(),
+    "Random": lambda seed: RandomScheduler(seed=seed),
+}
+
+_MACHINES = [
+    Machine.hypercube(2),
+    Machine.hypercube(3),
+    Machine.ring(5),
+    Machine.bus(6),
+    Machine.mesh(2, 3),
+    Machine.ring(
+        7,
+        speeds=[1.0, 2.0, 1.0, 3.0, 1.0, 0.5, 1.0],
+        link_weights={(0, 1): 2.0, (3, 4): 0.5},
+    ),
+    Machine.hypercube(3, speeds=[1.0 + 0.25 * i for i in range(8)]),
+]
+
+
+def _compile_cell(graph, machine, comm_model):
+    graph.validate()
+    return compile_scenario(graph, machine, comm_model, levels=graph.levels())
+
+
+def _solo_and_batched(cells, fidelity="latency"):
+    """Run *cells* = [(scenario, policy factory)] both ways; return results."""
+    solo = []
+    for scenario, factory in cells:
+        policy = factory()
+        policy.reset()
+        solo.append(run_compiled(scenario, policy, fidelity=fidelity))
+    lanes = []
+    for scenario, factory in cells:
+        policy = factory()
+        policy.reset()
+        lanes.append((scenario, policy))
+    return solo, run_batch(lanes, fidelity=fidelity)
+
+
+def _assert_lanes_identical(solo, batched):
+    assert len(solo) == len(batched)
+    for lane, (a, b) in enumerate(zip(solo, batched)):
+        assert a.fingerprint() == b.fingerprint(), f"lane {lane} diverged"
+        assert a.task_processor == b.task_processor
+        assert a.n_fallback_epochs == b.n_fallback_epochs
+
+
+# --------------------------------------------------------------------------- #
+# Hypothesis differential: batches of mixed lanes vs their solo runs
+# --------------------------------------------------------------------------- #
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def _lane_cells(draw):
+    """2-5 heterogeneous (graph, machine, policy factory) lane cells."""
+    n = draw(st.integers(2, 5))
+    cells = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["layered", "dag", "sparse"]))
+        seed = draw(st.integers(0, 10_000))
+        if kind == "layered":
+            graph = layered_random(
+                n_layers=draw(st.integers(1, 4)),
+                width=draw(st.integers(1, 5)),
+                edge_probability=0.4,
+                mean_comm=5.0,
+                seed=seed,
+            )
+        elif kind == "dag":
+            graph = random_dag(draw(st.integers(1, 25)), edge_probability=0.25, seed=seed)
+        else:
+            graph = random_dag(draw(st.integers(1, 35)), edge_probability=0.05, seed=seed)
+        machine = draw(st.sampled_from(_MACHINES))
+        policy_name = draw(st.sampled_from(sorted(_POLICY_FACTORIES)))
+        policy_seed = draw(st.integers(0, 100))
+        comm_off = draw(st.booleans())
+        cells.append((graph, machine, policy_name, policy_seed, comm_off))
+    return cells
+
+
+class TestDifferentialEquivalence:
+    @given(cells=_lane_cells(), fidelity=st.sampled_from(["latency", "contention"]))
+    @_SETTINGS
+    def test_every_lane_matches_its_solo_run(self, cells, fidelity):
+        compiled = []
+        for graph, machine, policy_name, policy_seed, comm_off in cells:
+            comm_model = ZeroCommModel() if comm_off else LinearCommModel()
+            scenario = _compile_cell(graph, machine, comm_model)
+            factory = _POLICY_FACTORIES[policy_name]
+            compiled.append((scenario, lambda f=factory, s=policy_seed: f(s)))
+        solo, batched = _solo_and_batched(compiled, fidelity=fidelity)
+        _assert_lanes_identical(solo, batched)
+
+
+# --------------------------------------------------------------------------- #
+# Fixed structural cases
+# --------------------------------------------------------------------------- #
+
+
+def _dag_cells(n, policy_factory):
+    """n lanes of varied random DAGs over alternating machines."""
+    machines = [Machine.hypercube(3), Machine.ring(9), Machine.mesh(2, 3)]
+    comm = LinearCommModel()
+    cells = []
+    for i in range(n):
+        graph = random_dag(
+            10 + 7 * i, edge_probability=0.15, mean_duration=12.0,
+            mean_comm=6.0, seed=i,
+        )
+        scenario = _compile_cell(graph, machines[i % len(machines)], comm)
+        cells.append((scenario, policy_factory))
+    return cells
+
+
+class TestLaneStructure:
+    @pytest.mark.parametrize("n_lanes", [1, 3, 8])
+    def test_run_lanes_matches_solo_at_any_width(self, n_lanes):
+        """B ∈ {1, 3, 8} through the dispatcher, incl. the B=1 solo path."""
+        cells = _dag_cells(n_lanes, lambda: HLFScheduler(seed=0))
+        solo = []
+        for scenario, factory in cells:
+            policy = factory()
+            policy.reset()
+            solo.append(run_compiled(scenario, policy))
+        lanes = []
+        for scenario, factory in cells:
+            policy = factory()
+            policy.reset()
+            lanes.append((scenario, policy))
+        _assert_lanes_identical(solo, run_lanes(lanes))
+
+    def test_ragged_lanes(self):
+        """Wildly mismatched task and processor counts batch correctly."""
+        comm = LinearCommModel()
+        shapes = [
+            (TaskGraph("single"), Machine.hypercube(2)),
+            (random_dag(40, edge_probability=0.1, seed=7), Machine.mesh(4, 4)),
+            (random_dag(3, edge_probability=0.5, seed=2), Machine.bus(2)),
+            (layered_random(n_layers=5, width=6, edge_probability=0.4,
+                            mean_comm=6.0, seed=4), Machine.ring(9)),
+        ]
+        shapes[0][0].add_task("only", 3.0)
+        cells = [
+            (_compile_cell(graph, machine, comm), lambda: ETFScheduler())
+            for graph, machine in shapes
+        ]
+        solo, batched = _solo_and_batched(cells)
+        _assert_lanes_identical(solo, batched)
+
+    def test_empty_graph_lane(self):
+        """A zero-task lane finishes immediately without disturbing others."""
+        comm = LinearCommModel()
+        cells = [
+            (_compile_cell(TaskGraph("empty"), Machine.hypercube(2), comm),
+             lambda: HLFScheduler(seed=0)),
+            (_compile_cell(random_dag(12, edge_probability=0.2, seed=1),
+                           Machine.ring(5), comm),
+             lambda: HLFScheduler(seed=0)),
+        ]
+        solo, batched = _solo_and_batched(cells)
+        _assert_lanes_identical(solo, batched)
+        assert batched[0].makespan == 0.0
+
+    def test_mixed_policies_in_one_batch(self):
+        """Different kernel groups (and fallbacks) coexist in one run."""
+        comm = LinearCommModel()
+        graph = random_dag(25, edge_probability=0.15, mean_comm=5.0, seed=3)
+        machine = Machine.hypercube(3)
+        scenario = _compile_cell(graph, machine, comm)
+        factories = [
+            lambda: ETFScheduler(),
+            lambda: HLFScheduler(seed=1),
+            lambda: HLFScheduler(placement="min_comm"),
+            lambda: LPTScheduler(),
+            lambda: FIFOScheduler(),
+            lambda: RandomScheduler(seed=5),
+        ]
+        cells = [(scenario, factory) for factory in factories]
+        for fidelity in ("latency", "contention"):
+            solo, batched = _solo_and_batched(cells, fidelity=fidelity)
+            _assert_lanes_identical(solo, batched)
+
+    def test_sa_lanes_match_solo(self):
+        """SA rides per lane (plan precomputed at reset) yet stays identical."""
+        cells = _dag_cells(
+            3, lambda: SAScheduler(SAConfig.paper_defaults(seed=2))
+        )
+        solo, batched = _solo_and_batched(cells)
+        _assert_lanes_identical(solo, batched)
+
+
+# --------------------------------------------------------------------------- #
+# Per-lane materialized-context fallback
+# --------------------------------------------------------------------------- #
+
+
+class _CtxOnlyPolicy(SchedulingPolicy):
+    """A policy with no fast/batch kernel: first ready task to first idle."""
+
+    name = "ctx-only"
+
+    def assign(self, ctx):
+        if not ctx.ready_tasks or not ctx.idle_processors:
+            return {}
+        return {ctx.ready_tasks[0]: ctx.idle_processors[0]}
+
+
+class TestFallback:
+    def test_ctx_only_policy_counts_fallback_epochs(self):
+        cells = _dag_cells(3, lambda: _CtxOnlyPolicy())
+        solo, batched = _solo_and_batched(cells)
+        _assert_lanes_identical(solo, batched)
+        for result in batched:
+            assert result.n_fallback_epochs > 0
+
+    def test_kernelized_policies_never_fall_back(self):
+        cells = _dag_cells(3, lambda: HLFScheduler(seed=0))
+        _, batched = _solo_and_batched(cells)
+        for result in batched:
+            assert result.n_fallback_epochs == 0
+
+
+# --------------------------------------------------------------------------- #
+# Batched kernel validation
+# --------------------------------------------------------------------------- #
+
+
+class _BrokenKernel(SchedulingPolicy):
+    """A batch kernel returning malformed triples; *mode* picks the defect."""
+
+    name = "broken"
+
+    def __init__(self, mode: str) -> None:
+        self.mode = mode
+
+    def assign(self, ctx):  # pragma: no cover - kernel always intercepts
+        return {}
+
+    def batch_assign(self, epoch, policies):
+        lane = int(epoch.lanes[0])
+        lanes = np.array([lane, lane], dtype=np.intp)
+        if self.mode == "task-dup":
+            return lanes, np.array([0, 0]), np.array([0, 1])
+        if self.mode == "proc-dup":
+            return lanes, np.array([0, 1]), np.array([0, 0])
+        # not-ready: task 1 has an unfinished predecessor at t=0.
+        return lanes[:1], np.array([1]), np.array([0])
+
+
+def _chain_graph():
+    graph = TaskGraph("chain")
+    graph.add_task("a", 2.0)
+    graph.add_task("b", 1.0)
+    graph.add_dependency("a", "b", comm=1.0)
+    return graph
+
+
+def _two_roots_graph():
+    graph = TaskGraph("roots")
+    graph.add_task("x", 2.0)
+    graph.add_task("y", 3.0)
+    return graph
+
+
+class TestKernelValidation:
+    @pytest.mark.parametrize("mode,match", [
+        ("task-dup", "task assigned more than once"),
+        ("proc-dup", "processor assigned more than one task"),
+        ("not-ready", "is not ready"),
+    ])
+    def test_malformed_triples_rejected(self, mode, match):
+        graph = _chain_graph() if mode == "not-ready" else _two_roots_graph()
+        scenario = _compile_cell(graph, Machine.hypercube(2), LinearCommModel())
+        lanes = [(scenario, _BrokenKernel(mode)), (scenario, _BrokenKernel(mode))]
+        with pytest.raises(SchedulingError, match=match):
+            run_batch(lanes)
+
+
+# --------------------------------------------------------------------------- #
+# simulate_batch API surface
+# --------------------------------------------------------------------------- #
+
+
+class _CustomComm(CommunicationModel):
+    def cost(self, machine, weight, src_proc, dst_proc):
+        return 1.0 if src_proc != dst_proc else 0.0
+
+
+class TestSimulateBatch:
+    def test_results_align_with_cells(self):
+        graphs = [random_dag(8 + 6 * i, edge_probability=0.2, seed=i) for i in range(4)]
+        machine = Machine.hypercube(3)
+        cells = [(g, machine, HLFScheduler(seed=0)) for g in graphs]
+        results = simulate_batch(cells)
+        assert len(results) == 4
+        for graph, result in zip(graphs, results):
+            expected = simulate(
+                graph, machine, HLFScheduler(seed=0),
+                comm_model=LinearCommModel(), record_trace=False, fast=True,
+            )
+            assert result.fingerprint() == expected.fingerprint()
+
+    def test_explicit_comm_model_and_fidelity(self):
+        graph = random_dag(15, edge_probability=0.2, mean_comm=4.0, seed=9)
+        machine = Machine.ring(5)
+        cells = [
+            (graph, machine, ETFScheduler(), ZeroCommModel()),
+            (graph, machine, ETFScheduler(), LinearCommModel()),
+        ]
+        results = simulate_batch(cells, fidelity="contention")
+        for i, comm_model in enumerate((ZeroCommModel(), LinearCommModel())):
+            expected = simulate(
+                graph, machine, ETFScheduler(), comm_model=comm_model,
+                fidelity="contention", record_trace=False, fast=True,
+            )
+            assert results[i].fingerprint() == expected.fingerprint()
+
+    def test_unfoldable_comm_model_falls_back_to_object_engine(self):
+        graph = random_dag(10, edge_probability=0.3, seed=4)
+        machine = Machine.hypercube(2)
+        cells = [
+            (graph, machine, HLFScheduler(seed=0), _CustomComm()),
+            (graph, machine, HLFScheduler(seed=0)),
+        ]
+        results = simulate_batch(cells)
+        expected_custom = simulate(
+            graph, machine, HLFScheduler(seed=0), comm_model=_CustomComm(),
+            record_trace=False, fast=False,
+        )
+        assert results[0].fingerprint() == expected_custom.fingerprint()
+        assert results[1].makespan > 0.0
+
+    def test_empty_cells(self):
+        assert simulate_batch([]) == []
+        assert run_lanes([]) == []
+        assert run_batch([]) == []
+
+    def test_bad_fidelity_rejected(self):
+        graph = _two_roots_graph()
+        scenario = _compile_cell(graph, Machine.hypercube(2), LinearCommModel())
+        with pytest.raises(SimulationError, match="fidelity"):
+            run_batch([(scenario, HLFScheduler(seed=0))], fidelity="exact")
+        with pytest.raises(SimulationError, match="fidelity"):
+            simulate_batch(
+                [(graph, Machine.hypercube(2), HLFScheduler(seed=0))],
+                fidelity="exact",
+            )

@@ -192,6 +192,86 @@ class TestSweep:
         assert loaded["results"][0]["replicas"] == 2
 
 
+class TestLanes:
+    _kwargs = dict(
+        policies=("HLF", "ETF", "SA"),
+        machines=("hypercube8", "ring9"),
+        families=("layered",),
+        n_seeds=2,
+    )
+
+    @staticmethod
+    def _strip(rows):
+        """Drop the timing/provenance/cache fields that legitimately vary
+        (the scenario memo persists in-process, so a second sweep in the
+        same test sees different hit/miss counts)."""
+        varying = (
+            "runtime_s", "worker_pid", "compile_cache_hits", "compile_cache_misses",
+        )
+        return [
+            {k: v for k, v in row.items() if k not in varying} for row in rows
+        ]
+
+    def test_lane_rows_identical_to_solo(self):
+        solo = run_sweep(jobs=1, **self._kwargs)
+        laned = run_sweep(jobs=1, lanes=3, **self._kwargs)
+        assert self._strip(laned["results"]) == self._strip(solo["results"])
+
+    def test_lanes_compose_with_jobs(self):
+        solo = run_sweep(jobs=1, **self._kwargs)
+        laned = run_sweep(jobs=2, lanes=4, **self._kwargs)
+        assert self._strip(laned["results"]) == self._strip(solo["results"])
+
+    def test_lanes_validated_and_capped(self):
+        with pytest.raises(ValueError, match="lanes"):
+            run_sweep(jobs=1, lanes=0, **self._kwargs)
+        report = run_sweep(jobs=1, lanes=999, **self._kwargs)
+        meta = report["meta"]["lanes"]
+        assert meta["requested"] == 999
+        # Auto-capped at the grid size; SA rows (replicas or not) still lane.
+        assert meta["effective"] <= report["meta"]["n_simulations"]
+        assert report["meta"]["n_failed"] == 0
+
+    def test_lane_meta_records_configuration(self):
+        report = run_sweep(jobs=1, lanes=3, **self._kwargs)
+        meta = report["meta"]["lanes"]
+        assert meta["requested"] == 3
+        assert meta["effective"] == 3
+        assert meta["n_groups"] >= 1
+        assert meta["n_lane_rows"] == len(meta["per_lane_fallback_epochs"])
+        assert meta["n_lane_rows"] > 0
+        # Every builtin policy is kernelized: no materialized contexts.
+        assert set(meta["per_lane_fallback_epochs"]) == {0}
+
+    def test_replica_rows_stay_solo(self):
+        report = run_sweep(jobs=1, lanes=4, replicas=2, **self._kwargs)
+        meta = report["meta"]["lanes"]
+        # SA rows carry replicas and are excluded from the lane groups.
+        n_sa = sum(1 for r in report["results"] if r["policy"] == "SA")
+        assert meta["n_lane_rows"] == report["meta"]["n_simulations"] - n_sa
+        assert report["meta"]["n_failed"] == 0
+
+    def test_cache_stats_aggregated_across_workers(self):
+        report = run_sweep(jobs=2, lanes=2, **self._kwargs)
+        cache = report["meta"]["compile_cache"]
+        assert cache["hits"] + cache["misses"] >= 1
+        assert 1 <= cache["n_workers"] <= 2
+
+    def test_lanes_cli_flag(self, tmp_path, capsys):
+        out = tmp_path / "lanes.json"
+        assert main(["--jobs", "1", "--lanes", "3", "--seeds", "2",
+                     "--policies", "HLF", "ETF",
+                     "--machines", "hypercube8", "--families", "layered",
+                     "--out", str(out)]) == 0
+        loaded = json.loads(out.read_text())
+        assert loaded["meta"]["lanes"]["effective"] == 3
+        assert loaded["meta"]["n_failed"] == 0
+
+    def test_lanes_cli_rejects_non_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--lanes", "0"])
+
+
 class TestParallelMap:
     def test_preserves_order(self):
         items = [{"policy": "HLF", "machine": "hypercube8", "family": "layered",
