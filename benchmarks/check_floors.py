@@ -56,6 +56,9 @@ FLOOR_CHECKS = {
     "BENCH_batch.json": [
         ("sweep_speedup", "min_speedup_asserted"),
     ],
+    "BENCH_families.json": [
+        ("batched_sweep_speedup", "min_speedup_asserted"),
+    ],
 }
 
 

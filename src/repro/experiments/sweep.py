@@ -54,6 +54,15 @@ rows and ``--engine object`` sweeps stay solo::
     python -m repro.experiments.sweep --families dag200 --seeds 64 \
         --jobs 4 --lanes 32 --out dag200.json
 
+``--families`` accepts, besides the random families, every workload-zoo
+family (``repro.taskgraph.families``: montage, cybershake, epigenomics,
+ligo, sipht; bigmerge, splitters, grid, fern, merge_neighbours,
+duration_stairs; mapreduce, crossv, gridcat) at its calibrated sweep size,
+and each family's >= 1000-task policy-study instance as ``<name>-1k``::
+
+    python -m repro.experiments.sweep --families montage mapreduce \
+        --jobs 4 --lanes 16 --out zoo.json
+
 Workers memoize the deterministic graph/machine builders per process, so the
 compiled-scenario cache (``sim/compile.py``) hits across the specs a worker
 runs back to back; the report's ``meta.compile_cache`` aggregates those
@@ -92,6 +101,7 @@ from repro.sim.engine import simulate
 from repro.sim.fast_engine import run_lanes
 from repro.taskgraph.generators import layered_random, random_dag
 from repro.utils.tabulate import format_table
+from repro.workloads.zoo import zoo_graph_families
 
 __all__ = [
     "MACHINE_BUILDERS",
@@ -223,6 +233,11 @@ GRAPH_FAMILIES: Dict[str, Callable[[int], "object"]] = {
         200, edge_probability=0.08, mean_duration=15.0, mean_comm=5.0, seed=seed,
     ),
 }
+
+# The realistic workload zoo (repro.taskgraph.families): every pegasus /
+# elementary / irw family at its calibrated sweep size under its registry
+# key, and at its >= 1000-task policy-study size as "<key>-1k".
+GRAPH_FAMILIES.update(zoo_graph_families())
 
 POLICY_BUILDERS: Dict[str, Callable[[int], "object"]] = {
     "HLF": lambda seed: HLFScheduler(seed=seed),

@@ -27,6 +27,7 @@ from repro.taskgraph.properties import (
     graph_width,
 )
 from repro.taskgraph import generators
+from repro.taskgraph import families
 from repro.taskgraph import io
 from repro.taskgraph import transform
 
@@ -44,6 +45,7 @@ __all__ = [
     "parallelism_profile",
     "graph_width",
     "generators",
+    "families",
     "io",
     "transform",
 ]

@@ -1,0 +1,294 @@
+"""The realistic workload zoo: Pegasus, elementary and IRW graph families.
+
+Fourteen validated task-graph families in three groups, ported from the
+estee simulator's generator suite:
+
+* **pegasus** — scientific-workflow shapes (montage, cybershake,
+  epigenomics, ligo, sipht),
+* **elementary** — minimal single-stress shapes (bigmerge, splitters, grid,
+  fern, merge_neighbours, duration_stairs),
+* **irw** — production data-pipeline shapes (mapreduce, crossv, gridcat).
+
+Every family is parameterized by one dominant size knob, draws durations and
+communication volumes deterministically from a seed, and asserts its exact
+structural contract (closed-form task/edge counts, entry/exit counts,
+hop-depth level shape, connectivity) at construction.
+
+:data:`FAMILIES` is the registry: each :class:`FamilySpec` carries the
+builder, two calibrated parameter sets (``default_params`` — a sweep-sized
+instance of ~40-60 tasks comparable to the existing random families — and
+``large_params`` — a >= 1000-task instance for the cross-family policy
+study), the closed-form count formulas the property tests cross-check
+against built graphs, and a hypothesis parameter grid.  The sweep runner
+exposes every family under its registry key (and the large instance as
+``<key>-1k``) through ``--families``; see :mod:`repro.workloads.zoo`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from repro.taskgraph.families import elementary, irw, pegasus
+from repro.taskgraph.families._common import (
+    depth_profile,
+    hop_depths,
+    n_weak_components,
+    structural_fingerprint,
+    validate_structure,
+)
+from repro.taskgraph.families.elementary import (
+    bigmerge,
+    duration_stairs,
+    fern,
+    grid,
+    merge_neighbours,
+    splitters,
+)
+from repro.taskgraph.families.irw import crossv, gridcat, mapreduce
+from repro.taskgraph.families.pegasus import (
+    cybershake,
+    epigenomics,
+    ligo,
+    montage,
+    sipht,
+)
+from repro.taskgraph.graph import TaskGraph
+from repro.utils.rng import SeedLike
+
+__all__ = [
+    "FamilySpec",
+    "FAMILIES",
+    "FAMILY_GROUPS",
+    "family_names",
+    "families_in_group",
+    "build_family",
+    "structural_fingerprint",
+    "depth_profile",
+    "hop_depths",
+    "n_weak_components",
+    "validate_structure",
+    "pegasus",
+    "elementary",
+    "irw",
+    "montage",
+    "cybershake",
+    "epigenomics",
+    "ligo",
+    "sipht",
+    "bigmerge",
+    "splitters",
+    "grid",
+    "fern",
+    "merge_neighbours",
+    "duration_stairs",
+    "mapreduce",
+    "crossv",
+    "gridcat",
+]
+
+
+@dataclass(frozen=True)
+class FamilySpec:
+    """One registry entry: builder, calibrated sizes and structural formulas."""
+
+    key: str
+    group: str
+    builder: Callable[..., TaskGraph]
+    #: Sweep-sized parameters (~40-60 tasks, comparable to the random families).
+    default_params: Mapping[str, int]
+    #: Policy-study parameters (>= 1000 tasks).
+    large_params: Mapping[str, int]
+    #: Closed-form task count; takes the builder's size parameters as kwargs.
+    expected_tasks: Callable[..., int]
+    #: Closed-form edge count; takes the builder's size parameters as kwargs.
+    expected_edges: Callable[..., int]
+    #: Inclusive hypothesis bounds per size parameter.
+    param_grid: Mapping[str, Tuple[int, int]] = field(default_factory=dict)
+    description: str = ""
+
+    def build(self, seed: SeedLike = 0, **overrides) -> TaskGraph:
+        """Build the sweep-sized instance (parameters overridable per call)."""
+        params = {**self.default_params, **overrides}
+        return self.builder(seed=seed, **params)
+
+    def build_large(self, seed: SeedLike = 0) -> TaskGraph:
+        """Build the >= 1000-task policy-study instance."""
+        return self.builder(seed=seed, **self.large_params)
+
+
+def _spec(key, group, builder, default_params, large_params,
+          expected_tasks, expected_edges, param_grid, description) -> FamilySpec:
+    spec = FamilySpec(
+        key=key, group=group, builder=builder,
+        default_params=dict(default_params), large_params=dict(large_params),
+        expected_tasks=expected_tasks, expected_edges=expected_edges,
+        param_grid=dict(param_grid), description=description,
+    )
+    large = spec.expected_tasks(**spec.large_params)
+    if large < 1000:
+        raise AssertionError(
+            f"{key}: large_params build only {large} tasks (< 1000)"
+        )
+    return spec
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+FAMILIES: Dict[str, FamilySpec] = {
+    spec.key: spec
+    for spec in (
+        # ------------------------------ pegasus ------------------------- #
+        _spec(
+            "montage", "pegasus", montage,
+            {"n_inputs": 12}, {"n_inputs": 250},
+            lambda n_inputs: 4 * n_inputs + 3,
+            lambda n_inputs: 10 * n_inputs - 5,
+            {"n_inputs": (2, 40)},
+            "astronomy mosaic: project/diff-fit/background/add pipeline",
+        ),
+        _spec(
+            "cybershake", "pegasus", cybershake,
+            {"n_sites": 8}, {"n_sites": 143},
+            lambda n_sites: 7 * n_sites + 2,
+            lambda n_sites: 12 * n_sites,
+            {"n_sites": (1, 30)},
+            "seismic hazard: wide fan-out/fan-in, depth 4 at any size",
+        ),
+        _spec(
+            "epigenomics", "pegasus", epigenomics,
+            {"n_lanes": 12}, {"n_lanes": 250},
+            lambda n_lanes: 4 * n_lanes + 4,
+            lambda n_lanes: 5 * n_lanes + 2,
+            {"n_lanes": (1, 40)},
+            "DNA methylation: split into parallel 4-stage chains, merge",
+        ),
+        _spec(
+            "ligo", "pegasus", ligo,
+            {"n_templates": 12}, {"n_templates": 250},
+            lambda n_templates, group_size=5:
+                4 * n_templates + 2 * _ceil_div(n_templates, group_size),
+            lambda n_templates, group_size=5: 5 * n_templates,
+            {"n_templates": (1, 40)},
+            "inspiral analysis: grouped two-pass coincidence testing",
+        ),
+        _spec(
+            "sipht", "pegasus", sipht,
+            {"n_loci": 4}, {"n_loci": 72},
+            lambda n_loci: 14 * n_loci,
+            lambda n_loci: 15 * n_loci,
+            {"n_loci": (1, 10)},
+            "sRNA annotation: n independent 14-task blocks",
+        ),
+        # ----------------------------- elementary ----------------------- #
+        _spec(
+            "bigmerge", "elementary", bigmerge,
+            {"n_producers": 50}, {"n_producers": 1000},
+            lambda n_producers: n_producers + 1,
+            lambda n_producers: n_producers,
+            {"n_producers": (1, 120)},
+            "maximal fan-in: n producers into one merge",
+        ),
+        _spec(
+            "splitters", "elementary", splitters,
+            {"depth": 5}, {"depth": 9},
+            lambda depth: (1 << (depth + 1)) - 1,
+            lambda depth: (1 << (depth + 1)) - 2,
+            {"depth": (0, 7)},
+            "pure fan-out: binary splitting cascade",
+        ),
+        _spec(
+            "grid", "elementary", grid,
+            {"side": 7}, {"side": 32},
+            lambda side: side * side,
+            lambda side: 2 * side * (side - 1),
+            {"side": (1, 12)},
+            "wavefront: right/down dependency grid",
+        ),
+        _spec(
+            "fern", "elementary", fern,
+            {"length": 25}, {"length": 501},
+            lambda length: 2 * length - 1,
+            lambda length: 3 * (length - 1),
+            {"length": (1, 60)},
+            "serial stem with one rejoining side leaf per segment",
+        ),
+        _spec(
+            "merge_neighbours", "elementary", merge_neighbours,
+            {"n_sources": 25}, {"n_sources": 501},
+            lambda n_sources: 2 * n_sources - 1,
+            lambda n_sources: 2 * (n_sources - 1),
+            {"n_sources": (2, 60)},
+            "pairwise-overlapping reduction layer",
+        ),
+        _spec(
+            "duration_stairs", "elementary", duration_stairs,
+            {"n_tasks": 50}, {"n_tasks": 1000},
+            lambda n_tasks: n_tasks,
+            lambda n_tasks: 0,
+            {"n_tasks": (1, 120)},
+            "independent tasks on a deterministic duration ramp",
+        ),
+        # -------------------------------- irw --------------------------- #
+        _spec(
+            "mapreduce", "irw", mapreduce,
+            {"n_mappers": 5, "rounds": 5}, {"n_mappers": 16, "rounds": 32},
+            lambda n_mappers, rounds=1: 2 * n_mappers * rounds,
+            lambda n_mappers, rounds=1:
+                rounds * n_mappers * n_mappers + (rounds - 1) * n_mappers,
+            {"n_mappers": (1, 12), "rounds": (1, 5)},
+            "chained map/reduce rounds with full n^2 shuffles",
+        ),
+        _spec(
+            "crossv", "irw", crossv,
+            {"n_folds": 12}, {"n_folds": 333},
+            lambda n_folds: 3 * n_folds + 1,
+            lambda n_folds: n_folds * n_folds + 2 * n_folds,
+            {"n_folds": (2, 25)},
+            "k-fold cross-validation with all-but-one chunk reuse",
+        ),
+        _spec(
+            "gridcat", "irw", gridcat,
+            {"n_pairs": 12}, {"n_pairs": 251},
+            lambda n_pairs: 4 * n_pairs - 1,
+            lambda n_pairs: 4 * n_pairs - 2,
+            {"n_pairs": (1, 40)},
+            "fetch pairs, cat each, fold serially (wide head, serial tail)",
+        ),
+    )
+}
+
+#: Group name -> family keys, in registry order.
+FAMILY_GROUPS: Dict[str, List[str]] = {}
+for _s in FAMILIES.values():
+    FAMILY_GROUPS.setdefault(_s.group, []).append(_s.key)
+del _s
+
+
+def family_names() -> List[str]:
+    """Every registered family key, in registry order."""
+    return list(FAMILIES.keys())
+
+
+def families_in_group(group: str) -> List[FamilySpec]:
+    """The specs of one family group ("pegasus", "elementary" or "irw")."""
+    try:
+        keys = FAMILY_GROUPS[group]
+    except KeyError:
+        raise KeyError(
+            f"unknown family group {group!r}; known: {sorted(FAMILY_GROUPS)}"
+        ) from None
+    return [FAMILIES[k] for k in keys]
+
+
+def build_family(key: str, seed: SeedLike = 0, **overrides) -> TaskGraph:
+    """Build family *key* at its calibrated sweep size (overridable)."""
+    try:
+        spec = FAMILIES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown graph family {key!r}; known: {family_names()}"
+        ) from None
+    return spec.build(seed=seed, **overrides)

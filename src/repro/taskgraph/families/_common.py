@@ -1,0 +1,145 @@
+"""Shared machinery for the workload-zoo graph families.
+
+Every family builder in :mod:`repro.taskgraph.families` funnels its finished
+graph through :func:`validate_structure`, which asserts the family's exact
+structural contract — task/edge counts, entry/exit counts, hop-depth profile
+(level shapes) and weak-connectivity — at construction time, so a generator
+bug surfaces as a :class:`~repro.exceptions.TaskGraphError` the moment the
+graph is built rather than as a silently mis-shaped benchmark.
+
+:func:`structural_fingerprint` hashes the full quantitative content of a
+graph (ids, durations, edges, communication weights) into a hex digest; two
+builds with the same parameters and seed must produce equal fingerprints
+(the determinism contract the property tests pin).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Hashable, List, Optional, Sequence
+
+from repro.exceptions import TaskGraphError
+from repro.taskgraph.generators import MIN_DURATION, draw_duration  # noqa: F401
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = [
+    "draw_duration",
+    "MIN_DURATION",
+    "hop_depths",
+    "depth_profile",
+    "n_weak_components",
+    "validate_structure",
+    "structural_fingerprint",
+]
+
+TaskId = Hashable
+
+
+def hop_depths(graph: TaskGraph) -> Dict[TaskId, int]:
+    """Precedence depth of every task: entries are 0, else 1 + deepest pred."""
+    depth: Dict[TaskId, int] = {}
+    for tid in graph.topological_order():
+        preds = graph.predecessors(tid)
+        depth[tid] = 0 if not preds else 1 + max(depth[p] for p in preds)
+    return depth
+
+
+def depth_profile(graph: TaskGraph) -> List[int]:
+    """Task count per precedence depth (the graph's level shape)."""
+    depths = hop_depths(graph)
+    if not depths:
+        return []
+    profile = [0] * (max(depths.values()) + 1)
+    for d in depths.values():
+        profile[d] += 1
+    return profile
+
+
+def n_weak_components(graph: TaskGraph) -> int:
+    """Number of weakly-connected components (edges taken as undirected)."""
+    parent: Dict[TaskId, TaskId] = {t: t for t in graph.tasks}
+
+    def find(x: TaskId) -> TaskId:
+        while parent[x] is not x and parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v, _ in graph.edges():
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+    return len({find(t) for t in graph.tasks})
+
+
+def validate_structure(
+    graph: TaskGraph,
+    *,
+    n_tasks: int,
+    n_edges: int,
+    n_entries: Optional[int] = None,
+    n_exits: Optional[int] = None,
+    profile: Optional[Sequence[int]] = None,
+    n_components: int = 1,
+) -> TaskGraph:
+    """Assert a family's structural contract on a freshly built graph.
+
+    Checks, in order: graph invariants (acyclicity, weight signs, adjacency
+    consistency via :meth:`TaskGraph.validate`), exact task and edge counts,
+    entry/exit task counts, the hop-depth profile (number of tasks at every
+    precedence depth — the family's level shape) and the weak-component
+    count.  Raises :class:`TaskGraphError` naming the graph and the violated
+    expectation; returns the graph so builders can ``return
+    validate_structure(g, ...)``.
+    """
+    graph.validate()
+    if graph.n_tasks != n_tasks:
+        raise TaskGraphError(
+            f"{graph.name}: expected {n_tasks} tasks, built {graph.n_tasks}"
+        )
+    if graph.n_edges != n_edges:
+        raise TaskGraphError(
+            f"{graph.name}: expected {n_edges} edges, built {graph.n_edges}"
+        )
+    if n_entries is not None and len(graph.entry_tasks()) != n_entries:
+        raise TaskGraphError(
+            f"{graph.name}: expected {n_entries} entry tasks, "
+            f"built {len(graph.entry_tasks())}"
+        )
+    if n_exits is not None and len(graph.exit_tasks()) != n_exits:
+        raise TaskGraphError(
+            f"{graph.name}: expected {n_exits} exit tasks, "
+            f"built {len(graph.exit_tasks())}"
+        )
+    if profile is not None:
+        built = depth_profile(graph)
+        if built != list(profile):
+            raise TaskGraphError(
+                f"{graph.name}: expected depth profile {list(profile)}, "
+                f"built {built}"
+            )
+    if n_components is not None and n_weak_components(graph) != n_components:
+        raise TaskGraphError(
+            f"{graph.name}: expected {n_components} weak component(s), "
+            f"built {n_weak_components(graph)}"
+        )
+    return graph
+
+
+def structural_fingerprint(graph: TaskGraph) -> str:
+    """A hex digest of the graph's full quantitative content.
+
+    Covers every task id and duration and every edge with its communication
+    weight (ids stringified, floats via ``repr`` so the shortest
+    round-trippable representation is hashed).  Equal parameters and seed
+    must give equal fingerprints — the determinism contract of every family
+    builder.  The graph *name* is excluded, so renamed but otherwise
+    identical graphs compare equal.
+    """
+    payload = {
+        "tasks": [[str(t), repr(graph.duration(t))] for t in graph.tasks],
+        "edges": [[str(u), str(v), repr(w)] for u, v, w in graph.edges()],
+    }
+    blob = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()

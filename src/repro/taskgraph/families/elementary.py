@@ -1,0 +1,205 @@
+"""Elementary graph families: minimal shapes isolating one scheduling stress.
+
+Ports of the estee generator suite's *elementary* families — each family is
+the smallest graph exhibiting exactly one structural challenge (a huge
+fan-in, a pure fan-out cascade, a wavefront, a serial spine with side work,
+pairwise reduction, or a duration ramp with no precedence at all), so a
+policy's weakness on one axis cannot hide behind another.  All builders
+assert their closed-form structural contract at construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import TaskGraphError
+from repro.taskgraph.families._common import draw_duration, validate_structure
+from repro.taskgraph.graph import TaskGraph
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = [
+    "bigmerge",
+    "splitters",
+    "grid",
+    "fern",
+    "merge_neighbours",
+    "duration_stairs",
+]
+
+_CV = 0.3
+
+
+def bigmerge(
+    n_producers: int, seed: SeedLike = 0, name: Optional[str] = None
+) -> TaskGraph:
+    """*n* independent producers all merged by one sink (maximal fan-in).
+
+    Structure: ``n + 1`` tasks, ``n`` edges, ``n`` entries, 1 exit, depth 2.
+    """
+    if n_producers < 1:
+        raise TaskGraphError(f"bigmerge needs >= 1 producer, got {n_producers}")
+    n = n_producers
+    rng = as_rng(seed)
+    g = TaskGraph(name or f"bigmerge[{n}]")
+    g.add_task("merge", draw_duration(rng, 2.0, _CV), label="merge")
+    for i in range(n):
+        g.add_task(("produce", i), draw_duration(rng, 5.0, _CV), label=f"produce{i}")
+        g.add_dependency(("produce", i), "merge", draw_duration(rng, 4.0, _CV))
+    return validate_structure(
+        g, n_tasks=n + 1, n_edges=n, n_entries=n, n_exits=1, profile=[n, 1]
+    )
+
+
+def splitters(
+    depth: int, seed: SeedLike = 0, name: Optional[str] = None
+) -> TaskGraph:
+    """A binary splitting cascade: each task forks into two (pure fan-out).
+
+    Structure: ``2^(depth+1) - 1`` tasks, ``2^(depth+1) - 2`` edges, 1 entry,
+    ``2^depth`` exits, depth ``depth + 1`` levels of widths ``1, 2, 4, ...``.
+    """
+    if depth < 0:
+        raise TaskGraphError(f"splitters depth must be >= 0, got {depth}")
+    rng = as_rng(seed)
+    g = TaskGraph(name or f"splitters[{depth}]")
+    for lvl in range(depth + 1):
+        for i in range(1 << lvl):
+            g.add_task((lvl, i), draw_duration(rng, 3.0, _CV), label=f"split{lvl}.{i}")
+    for lvl in range(1, depth + 1):
+        for i in range(1 << lvl):
+            g.add_dependency((lvl - 1, i // 2), (lvl, i), draw_duration(rng, 2.0, _CV))
+    return validate_structure(
+        g,
+        n_tasks=(1 << (depth + 1)) - 1,
+        n_edges=(1 << (depth + 1)) - 2,
+        n_entries=1,
+        n_exits=1 << depth,
+        profile=[1 << lvl for lvl in range(depth + 1)],
+    )
+
+
+def grid(
+    side: int, seed: SeedLike = 0, name: Optional[str] = None
+) -> TaskGraph:
+    """A *side* x *side* dependency grid (wavefront / dynamic-programming shape).
+
+    Task ``(i, j)`` feeds its right and down neighbours; the anti-diagonal
+    wavefront widens to *side* then narrows back to one.
+
+    Structure: ``side^2`` tasks, ``2*side*(side - 1)`` edges, 1 entry, 1
+    exit, depth ``2*side - 1``.
+    """
+    if side < 1:
+        raise TaskGraphError(f"grid side must be >= 1, got {side}")
+    n = side
+    rng = as_rng(seed)
+    g = TaskGraph(name or f"grid[{n}]")
+    for i in range(n):
+        for j in range(n):
+            g.add_task((i, j), draw_duration(rng, 4.0, _CV), label=f"g{i}.{j}")
+    for i in range(n):
+        for j in range(n):
+            if j + 1 < n:
+                g.add_dependency((i, j), (i, j + 1), draw_duration(rng, 2.0, _CV))
+            if i + 1 < n:
+                g.add_dependency((i, j), (i + 1, j), draw_duration(rng, 2.0, _CV))
+    return validate_structure(
+        g,
+        n_tasks=n * n,
+        n_edges=2 * n * (n - 1),
+        n_entries=1,
+        n_exits=1,
+        profile=[min(d + 1, n, 2 * n - 1 - d) for d in range(2 * n - 1)],
+    )
+
+
+def fern(
+    length: int, seed: SeedLike = 0, name: Optional[str] = None
+) -> TaskGraph:
+    """A serial stem whose every segment sprouts a side leaf that rejoins it.
+
+    Stem task ``s_i`` feeds both its leaf ``l_i`` and nothing else directly;
+    ``s_{i+1}`` waits on ``s_i`` *and* ``l_i`` — an almost fully serial
+    workload whose only parallelism is one leaf at a time.
+
+    Structure: ``2*length - 1`` tasks, ``3*(length - 1)`` edges, 1 entry, 1
+    exit, depth ``2*length - 1``.
+    """
+    if length < 1:
+        raise TaskGraphError(f"fern length must be >= 1, got {length}")
+    n = length
+    rng = as_rng(seed)
+    g = TaskGraph(name or f"fern[{n}]")
+    g.add_task(("stem", 0), draw_duration(rng, 5.0, _CV), label="stem0")
+    for i in range(n - 1):
+        leaf = ("leaf", i)
+        g.add_task(leaf, draw_duration(rng, 3.0, _CV), label=f"leaf{i}")
+        nxt = ("stem", i + 1)
+        g.add_task(nxt, draw_duration(rng, 5.0, _CV), label=f"stem{i + 1}")
+        g.add_dependency(("stem", i), leaf, draw_duration(rng, 1.0, _CV))
+        g.add_dependency(("stem", i), nxt, draw_duration(rng, 2.0, _CV))
+        g.add_dependency(leaf, nxt, draw_duration(rng, 1.0, _CV))
+    return validate_structure(
+        g,
+        n_tasks=2 * n - 1,
+        n_edges=3 * (n - 1),
+        n_entries=1,
+        n_exits=1,
+        profile=[1] * (2 * n - 1),
+    )
+
+
+def merge_neighbours(
+    n_sources: int, seed: SeedLike = 0, name: Optional[str] = None
+) -> TaskGraph:
+    """One pairwise-overlapping reduction layer: merge ``i`` reads sources ``i, i+1``.
+
+    Every interior source is read by two merges, so no placement can make all
+    communication local — the minimal data-locality conflict.
+
+    Structure: ``2n - 1`` tasks, ``2*(n - 1)`` edges, ``n`` entries,
+    ``n - 1`` exits, depth 2.  Requires ``n_sources >= 2``.
+    """
+    if n_sources < 2:
+        raise TaskGraphError(f"merge_neighbours needs >= 2 sources, got {n_sources}")
+    n = n_sources
+    rng = as_rng(seed)
+    g = TaskGraph(name or f"merge_neighbours[{n}]")
+    for i in range(n):
+        g.add_task(("src", i), draw_duration(rng, 5.0, _CV), label=f"src{i}")
+    for i in range(n - 1):
+        tid = ("merge", i)
+        g.add_task(tid, draw_duration(rng, 3.0, _CV), label=f"merge{i}")
+        g.add_dependency(("src", i), tid, draw_duration(rng, 3.0, _CV))
+        g.add_dependency(("src", i + 1), tid, draw_duration(rng, 3.0, _CV))
+    return validate_structure(
+        g,
+        n_tasks=2 * n - 1,
+        n_edges=2 * (n - 1),
+        n_entries=n,
+        n_exits=n - 1,
+        profile=[n, n - 1],
+    )
+
+
+def duration_stairs(
+    n_tasks: int, seed: SeedLike = 0, name: Optional[str] = None
+) -> TaskGraph:
+    """*n* independent tasks with a deterministic duration ramp ``1, 2, ..., n``.
+
+    No precedence and no randomness — pure load balancing of maximally
+    unequal pieces (the LPT-versus-FIFO separator).  *seed* is accepted for
+    registry uniformity but unused; every build is identical.
+
+    Structure: ``n`` tasks, 0 edges, depth 1.
+    """
+    if n_tasks < 1:
+        raise TaskGraphError(f"duration_stairs needs >= 1 task, got {n_tasks}")
+    n = n_tasks
+    g = TaskGraph(name or f"duration_stairs[{n}]")
+    for i in range(n):
+        g.add_task(("stair", i), float(i + 1), label=f"stair{i}")
+    return validate_structure(
+        g, n_tasks=n, n_edges=0, n_entries=n, n_exits=n, profile=[n],
+        n_components=n,
+    )

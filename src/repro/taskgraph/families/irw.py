@@ -1,0 +1,151 @@
+"""IRW data-processing families: mapreduce, crossv, gridcat.
+
+Ports of the estee generator suite's *irw* ("it really works") families —
+shapes lifted from production data-pipeline jobs rather than scientific
+workflows: shuffle-heavy map/reduce rounds, k-fold cross-validation with its
+all-but-one data reuse, and hierarchical download-and-concatenate trees.
+All builders assert their closed-form structural contract at construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import TaskGraphError
+from repro.taskgraph.families._common import draw_duration, validate_structure
+from repro.taskgraph.graph import TaskGraph
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["mapreduce", "crossv", "gridcat"]
+
+_CV = 0.3
+
+
+def mapreduce(
+    n_mappers: int,
+    seed: SeedLike = 0,
+    rounds: int = 1,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """*rounds* chained map/reduce rounds of *n_mappers* mappers and reducers.
+
+    Within a round every reducer consumes every mapper's partition (the full
+    ``n^2`` shuffle, the densest communication pattern in the zoo); between
+    rounds reducer ``j`` seeds mapper ``j`` of the next round.
+
+    Structure: ``2 * n * rounds`` tasks, ``rounds * n^2 + (rounds - 1) * n``
+    edges, ``n`` entries, ``n`` exits, depth ``2 * rounds``.
+    """
+    if n_mappers < 1:
+        raise TaskGraphError(f"mapreduce needs >= 1 mapper, got {n_mappers}")
+    if rounds < 1:
+        raise TaskGraphError(f"mapreduce needs >= 1 round, got {rounds}")
+    n = n_mappers
+    rng = as_rng(seed)
+    g = TaskGraph(name or f"mapreduce[{n}x{rounds}]")
+    for r in range(rounds):
+        for i in range(n):
+            g.add_task(("map", r, i), draw_duration(rng, 8.0, _CV), label=f"map{r}.{i}")
+        for j in range(n):
+            tid = ("reduce", r, j)
+            g.add_task(tid, draw_duration(rng, 6.0, _CV), label=f"reduce{r}.{j}")
+            for i in range(n):
+                g.add_dependency(("map", r, i), tid, draw_duration(rng, 3.0, _CV))
+        if r > 0:
+            for j in range(n):
+                g.add_dependency(
+                    ("reduce", r - 1, j), ("map", r, j), draw_duration(rng, 2.0, _CV)
+                )
+    return validate_structure(
+        g,
+        n_tasks=2 * n * rounds,
+        n_edges=rounds * n * n + (rounds - 1) * n,
+        n_entries=n,
+        n_exits=n,
+        profile=[n] * (2 * rounds),
+    )
+
+
+def crossv(
+    n_folds: int, seed: SeedLike = 0, name: Optional[str] = None
+) -> TaskGraph:
+    """*k*-fold cross-validation: train on all-but-one chunk, evaluate, select.
+
+    Chunk ``i`` is read by every training task except ``train_i`` (the
+    all-but-one reuse that makes replication-versus-transfer decisions hard)
+    and by its own evaluation task; one selection sink compares the folds.
+
+    Structure: ``3k + 1`` tasks, ``k^2 + 2k`` edges, ``k`` entries, 1 exit,
+    depth 4.  Requires ``n_folds >= 2``.
+    """
+    if n_folds < 2:
+        raise TaskGraphError(f"crossv needs >= 2 folds, got {n_folds}")
+    k = n_folds
+    rng = as_rng(seed)
+    g = TaskGraph(name or f"crossv[{k}]")
+    for i in range(k):
+        g.add_task(("chunk", i), draw_duration(rng, 3.0, _CV), label=f"chunk{i}")
+    for i in range(k):
+        tid = ("train", i)
+        g.add_task(tid, draw_duration(rng, 20.0, _CV), label=f"train{i}")
+        for j in range(k):
+            if j != i:
+                g.add_dependency(("chunk", j), tid, draw_duration(rng, 5.0, _CV))
+    for i in range(k):
+        tid = ("eval", i)
+        g.add_task(tid, draw_duration(rng, 4.0, _CV), label=f"eval{i}")
+        g.add_dependency(("train", i), tid, draw_duration(rng, 6.0, _CV))
+        g.add_dependency(("chunk", i), tid, draw_duration(rng, 5.0, _CV))
+    g.add_task("select", draw_duration(rng, 1.0, _CV), label="select")
+    for i in range(k):
+        g.add_dependency(("eval", i), "select", draw_duration(rng, 0.5, _CV))
+    return validate_structure(
+        g,
+        n_tasks=3 * k + 1,
+        n_edges=k * k + 2 * k,
+        n_entries=k,
+        n_exits=1,
+        profile=[k, k, k, 1],
+    )
+
+
+def gridcat(
+    n_pairs: int, seed: SeedLike = 0, name: Optional[str] = None
+) -> TaskGraph:
+    """Grid download-and-concatenate: fetch pairs, cat each, fold the cats serially.
+
+    ``2n`` fetches feed ``n`` pairwise cat tasks; the cats are folded by a
+    left-deep chain of ``n - 1`` concats (each consuming the running result
+    and the next cat), so the tail is serial while the head is wide.
+
+    Structure: ``4n - 1`` tasks, ``4n - 2`` edges, ``2n`` entries, 1 exit,
+    depth ``n + 1``.
+    """
+    if n_pairs < 1:
+        raise TaskGraphError(f"gridcat needs >= 1 pair, got {n_pairs}")
+    n = n_pairs
+    rng = as_rng(seed)
+    g = TaskGraph(name or f"gridcat[{n}]")
+    for i in range(n):
+        for k in range(2):
+            g.add_task(("fetch", i, k), draw_duration(rng, 6.0, _CV), label=f"fetch{i}.{k}")
+        tid = ("cat", i)
+        g.add_task(tid, draw_duration(rng, 2.0, _CV), label=f"cat{i}")
+        g.add_dependency(("fetch", i, 0), tid, draw_duration(rng, 8.0, _CV))
+        g.add_dependency(("fetch", i, 1), tid, draw_duration(rng, 8.0, _CV))
+    prev = ("cat", 0)
+    for j in range(n - 1):
+        tid = ("concat", j)
+        g.add_task(tid, draw_duration(rng, 2.0, _CV), label=f"concat{j}")
+        g.add_dependency(prev, tid, draw_duration(rng, 8.0, _CV))
+        g.add_dependency(("cat", j + 1), tid, draw_duration(rng, 8.0, _CV))
+        prev = tid
+    profile = [2 * n, n] + [1] * (n - 1)
+    return validate_structure(
+        g,
+        n_tasks=4 * n - 1,
+        n_edges=4 * n - 2,
+        n_entries=2 * n,
+        n_exits=1,
+        profile=profile,
+    )

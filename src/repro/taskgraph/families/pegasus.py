@@ -1,0 +1,289 @@
+"""Pegasus scientific-workflow families: montage, cybershake, epigenomics, ligo, sipht.
+
+Shape-faithful re-implementations of the five classic Pegasus workflow
+benchmarks (Bharathi et al., "Characterization of Scientific Workflows",
+WORKS 2008), as ported by the estee simulator's generator suite.  Each
+builder is parameterized by one dominant size knob (input images, sites,
+lanes, templates, loci), draws task durations and data-transfer volumes from
+seeded gamma distributions with per-stage characteristic means, and asserts
+its exact structural contract — closed-form task/edge counts, entry/exit
+counts and the hop-depth level shape — at construction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import TaskGraphError
+from repro.taskgraph.families._common import draw_duration, validate_structure
+from repro.taskgraph.graph import TaskGraph
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["montage", "cybershake", "epigenomics", "ligo", "sipht"]
+
+#: Coefficient of variation for every stochastic stage draw: tight enough
+#: that stage means stay characteristic, wide enough that no two tasks tie.
+_CV = 0.3
+
+
+def montage(
+    n_inputs: int, seed: SeedLike = 0, name: Optional[str] = None
+) -> TaskGraph:
+    """The Montage astronomy mosaic workflow over *n_inputs* sky images.
+
+    ``n`` mProject tasks reproject the input images; mDiffFit tasks fit the
+    overlap of every adjacent and next-adjacent image pair (``2n - 3``
+    overlaps on a linear strip); one mConcatFit and one mBgModel derive the
+    global background model; ``n`` mBackground tasks correct each projected
+    image; mImgtbl, mAdd, mShrink and mJPEG assemble the final mosaic.
+
+    Structure: ``4n + 3`` tasks, ``10n - 5`` edges, ``n`` entries, 1 exit,
+    depth 9.  Requires ``n_inputs >= 2``.
+    """
+    if n_inputs < 2:
+        raise TaskGraphError(f"montage needs >= 2 input images, got {n_inputs}")
+    n = n_inputs
+    rng = as_rng(seed)
+    g = TaskGraph(name or f"montage[{n}]")
+    for i in range(n):
+        g.add_task(("project", i), draw_duration(rng, 12.0, _CV), label=f"mProject{i}")
+    pairs = [(i, i + 1) for i in range(n - 1)] + [(i, i + 2) for i in range(n - 2)]
+    for a, b in pairs:
+        tid = ("diff", a, b)
+        g.add_task(tid, draw_duration(rng, 2.0, _CV), label=f"mDiffFit{a}-{b}")
+        g.add_dependency(("project", a), tid, draw_duration(rng, 8.0, _CV))
+        g.add_dependency(("project", b), tid, draw_duration(rng, 8.0, _CV))
+    g.add_task("concat", draw_duration(rng, 1.5, _CV), label="mConcatFit")
+    for a, b in pairs:
+        g.add_dependency(("diff", a, b), "concat", draw_duration(rng, 0.5, _CV))
+    g.add_task("bgmodel", draw_duration(rng, 8.0, _CV), label="mBgModel")
+    g.add_dependency("concat", "bgmodel", draw_duration(rng, 0.5, _CV))
+    for i in range(n):
+        tid = ("background", i)
+        g.add_task(tid, draw_duration(rng, 3.0, _CV), label=f"mBackground{i}")
+        g.add_dependency(("project", i), tid, draw_duration(rng, 8.0, _CV))
+        g.add_dependency("bgmodel", tid, draw_duration(rng, 0.5, _CV))
+    g.add_task("imgtbl", draw_duration(rng, 2.0, _CV), label="mImgtbl")
+    for i in range(n):
+        g.add_dependency(("background", i), "imgtbl", draw_duration(rng, 0.5, _CV))
+    g.add_task("madd", draw_duration(rng, 15.0, _CV), label="mAdd")
+    g.add_dependency("imgtbl", "madd", draw_duration(rng, 1.0, _CV))
+    for i in range(n):
+        g.add_dependency(("background", i), "madd", draw_duration(rng, 8.0, _CV))
+    g.add_task("shrink", draw_duration(rng, 4.0, _CV), label="mShrink")
+    g.add_dependency("madd", "shrink", draw_duration(rng, 10.0, _CV))
+    g.add_task("jpeg", draw_duration(rng, 2.0, _CV), label="mJPEG")
+    g.add_dependency("shrink", "jpeg", draw_duration(rng, 3.0, _CV))
+    return validate_structure(
+        g,
+        n_tasks=4 * n + 3,
+        n_edges=10 * n - 5,
+        n_entries=n,
+        n_exits=1,
+        profile=[n, 2 * n - 3, 1, 1, n, 1, 1, 1, 1],
+    )
+
+
+def cybershake(
+    n_sites: int, seed: SeedLike = 0, name: Optional[str] = None
+) -> TaskGraph:
+    """The CyberShake seismic-hazard workflow over *n_sites* rupture sites.
+
+    Each ExtractSGT task feeds three SeismogramSynthesis tasks; one ZipSeis
+    archives every seismogram, each seismogram gets a PeakValCalc, and one
+    ZipPSA archives the peak values — the classic wide, shallow fan-out/fan-in
+    shape (depth 4 at any size).
+
+    Structure: ``7n + 2`` tasks, ``12n`` edges, ``n`` entries, 2 exits.
+    """
+    if n_sites < 1:
+        raise TaskGraphError(f"cybershake needs >= 1 site, got {n_sites}")
+    n = n_sites
+    rng = as_rng(seed)
+    g = TaskGraph(name or f"cybershake[{n}]")
+    for i in range(n):
+        g.add_task(("extract", i), draw_duration(rng, 10.0, _CV), label=f"ExtractSGT{i}")
+    g.add_task("zipseis", draw_duration(rng, 3.0, _CV), label="ZipSeis")
+    g.add_task("zippsa", draw_duration(rng, 3.0, _CV), label="ZipPSA")
+    for i in range(n):
+        for k in range(3):
+            synth = ("synth", i, k)
+            g.add_task(synth, draw_duration(rng, 6.0, _CV), label=f"Synth{i}.{k}")
+            g.add_dependency(("extract", i), synth, draw_duration(rng, 12.0, _CV))
+            g.add_dependency(synth, "zipseis", draw_duration(rng, 2.0, _CV))
+            peak = ("peak", i, k)
+            g.add_task(peak, draw_duration(rng, 1.5, _CV), label=f"PeakVal{i}.{k}")
+            g.add_dependency(synth, peak, draw_duration(rng, 2.0, _CV))
+            g.add_dependency(peak, "zippsa", draw_duration(rng, 0.5, _CV))
+    return validate_structure(
+        g,
+        n_tasks=7 * n + 2,
+        n_edges=12 * n,
+        n_entries=n,
+        n_exits=2,
+        profile=[n, 3 * n, 3 * n + 1, 1],
+    )
+
+
+def epigenomics(
+    n_lanes: int, seed: SeedLike = 0, name: Optional[str] = None
+) -> TaskGraph:
+    """The Epigenomics DNA-methylation pipeline over *n_lanes* read lanes.
+
+    One fastqSplit fans the reads out into ``n`` four-stage per-lane chains
+    (filterContams -> sol2sanger -> fastq2bfq -> map); mapMerge joins the
+    mapped lanes and maqIndex and pileup finish serially — the classic
+    pipeline-of-chains shape (depth 8 at any size).
+
+    Structure: ``4n + 4`` tasks, ``5n + 2`` edges, 1 entry, 1 exit.
+    """
+    if n_lanes < 1:
+        raise TaskGraphError(f"epigenomics needs >= 1 lane, got {n_lanes}")
+    n = n_lanes
+    rng = as_rng(seed)
+    g = TaskGraph(name or f"epigenomics[{n}]")
+    g.add_task("split", draw_duration(rng, 5.0, _CV), label="fastqSplit")
+    stages = (
+        ("filter", 4.0, 10.0),
+        ("sol2sanger", 2.0, 8.0),
+        ("fastq2bfq", 2.0, 6.0),
+        ("map", 12.0, 6.0),
+    )
+    for i in range(n):
+        prev = "split"
+        for stage, mean_dur, mean_comm in stages:
+            tid = (stage, i)
+            g.add_task(tid, draw_duration(rng, mean_dur, _CV), label=f"{stage}{i}")
+            g.add_dependency(prev, tid, draw_duration(rng, mean_comm, _CV))
+            prev = tid
+    g.add_task("merge", draw_duration(rng, 8.0, _CV), label="mapMerge")
+    for i in range(n):
+        g.add_dependency(("map", i), "merge", draw_duration(rng, 4.0, _CV))
+    g.add_task("index", draw_duration(rng, 4.0, _CV), label="maqIndex")
+    g.add_dependency("merge", "index", draw_duration(rng, 6.0, _CV))
+    g.add_task("pileup", draw_duration(rng, 6.0, _CV), label="pileup")
+    g.add_dependency("index", "pileup", draw_duration(rng, 2.0, _CV))
+    return validate_structure(
+        g,
+        n_tasks=4 * n + 4,
+        n_edges=5 * n + 2,
+        n_entries=1,
+        n_exits=1,
+        profile=[1, n, n, n, n, 1, 1, 1],
+    )
+
+
+def ligo(
+    n_templates: int,
+    seed: SeedLike = 0,
+    group_size: int = 5,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """The LIGO inspiral-analysis workflow over *n_templates* template banks.
+
+    ``n`` TmpltBank entries each feed an Inspiral task; Thinca tasks
+    coincidence-test groups of *group_size* inspirals; each template then gets
+    a TrigBank and a second Inspiral pass, closed by a second Thinca layer —
+    the characteristic grouped two-pass shape.  Groups share no edges, so the
+    graph has one weak component per group.
+
+    Structure: with ``G = ceil(n / group_size)`` groups, ``4n + 2G`` tasks,
+    ``5n`` edges, ``n`` entries, ``G`` exits, depth 6, ``G`` components.
+    """
+    if n_templates < 1:
+        raise TaskGraphError(f"ligo needs >= 1 template, got {n_templates}")
+    if group_size < 1:
+        raise TaskGraphError(f"ligo group_size must be >= 1, got {group_size}")
+    n = n_templates
+    n_groups = -(-n // group_size)
+    rng = as_rng(seed)
+    g = TaskGraph(name or f"ligo[{n}]")
+    for i in range(n):
+        g.add_task(("tmplt", i), draw_duration(rng, 4.0, _CV), label=f"TmpltBank{i}")
+    for i in range(n):
+        tid = ("inspiral1", i)
+        g.add_task(tid, draw_duration(rng, 18.0, _CV), label=f"Inspiral{i}")
+        g.add_dependency(("tmplt", i), tid, draw_duration(rng, 2.0, _CV))
+    for group in range(n_groups):
+        g.add_task(("thinca1", group), draw_duration(rng, 3.0, _CV), label=f"Thinca{group}")
+    for i in range(n):
+        g.add_dependency(
+            ("inspiral1", i), ("thinca1", i // group_size), draw_duration(rng, 1.0, _CV)
+        )
+    for i in range(n):
+        tid = ("trigbank", i)
+        g.add_task(tid, draw_duration(rng, 2.0, _CV), label=f"TrigBank{i}")
+        g.add_dependency(("thinca1", i // group_size), tid, draw_duration(rng, 1.0, _CV))
+    for i in range(n):
+        tid = ("inspiral2", i)
+        g.add_task(tid, draw_duration(rng, 18.0, _CV), label=f"Inspiral2.{i}")
+        g.add_dependency(("trigbank", i), tid, draw_duration(rng, 2.0, _CV))
+    for group in range(n_groups):
+        g.add_task(("thinca2", group), draw_duration(rng, 3.0, _CV), label=f"Thinca2.{group}")
+    for i in range(n):
+        g.add_dependency(
+            ("inspiral2", i), ("thinca2", i // group_size), draw_duration(rng, 1.0, _CV)
+        )
+    return validate_structure(
+        g,
+        n_tasks=4 * n + 2 * n_groups,
+        n_edges=5 * n,
+        n_entries=n,
+        n_exits=n_groups,
+        profile=[n, n, n_groups, n, n, n_groups],
+        n_components=n_groups,
+    )
+
+
+def sipht(
+    n_loci: int, seed: SeedLike = 0, name: Optional[str] = None
+) -> TaskGraph:
+    """The SIPHT sRNA-annotation workflow over *n_loci* independent loci.
+
+    Each locus is one fixed 14-task block: four Patser motif searches feed a
+    PatserConcat; Transterm, FindTerm, RNAMotif and Blast terminator/homology
+    searches join the concat in an SRNA core; three downstream annotation
+    passes (FFNParse, BlastQRNA, BlastParalogues) close into an SRNAAnnotate
+    sink.  The blocks share no edges — SIPHT batches are embarrassingly
+    parallel across loci (``n`` weak components).
+
+    Structure: ``14n`` tasks, ``15n`` edges, ``8n`` entries, ``n`` exits,
+    depth 5.
+    """
+    if n_loci < 1:
+        raise TaskGraphError(f"sipht needs >= 1 locus, got {n_loci}")
+    n = n_loci
+    rng = as_rng(seed)
+    g = TaskGraph(name or f"sipht[{n}]")
+    finders = (("transterm", 8.0), ("findterm", 10.0), ("rnamotif", 4.0), ("blast", 12.0))
+    annotators = (("ffn_parse", 2.0), ("blast_qrna", 9.0), ("blast_paral", 5.0))
+    for b in range(n):
+        for k in range(4):
+            g.add_task(("patser", b, k), draw_duration(rng, 2.0, _CV), label=f"Patser{b}.{k}")
+        concat = ("patser_concat", b)
+        g.add_task(concat, draw_duration(rng, 1.0, _CV), label=f"PatserConcat{b}")
+        for k in range(4):
+            g.add_dependency(("patser", b, k), concat, draw_duration(rng, 1.0, _CV))
+        srna = ("srna", b)
+        g.add_task(srna, draw_duration(rng, 6.0, _CV), label=f"SRNA{b}")
+        g.add_dependency(concat, srna, draw_duration(rng, 1.0, _CV))
+        for stage, mean_dur in finders:
+            tid = (stage, b)
+            g.add_task(tid, draw_duration(rng, mean_dur, _CV), label=f"{stage}{b}")
+            g.add_dependency(tid, srna, draw_duration(rng, 3.0, _CV))
+        sink = ("annotate", b)
+        g.add_task(sink, draw_duration(rng, 3.0, _CV), label=f"SRNAAnnotate{b}")
+        for stage, mean_dur in annotators:
+            tid = (stage, b)
+            g.add_task(tid, draw_duration(rng, mean_dur, _CV), label=f"{stage}{b}")
+            g.add_dependency(srna, tid, draw_duration(rng, 2.0, _CV))
+            g.add_dependency(tid, sink, draw_duration(rng, 1.0, _CV))
+    return validate_structure(
+        g,
+        n_tasks=14 * n,
+        n_edges=15 * n,
+        n_entries=8 * n,
+        n_exits=n,
+        profile=[8 * n, n, n, 3 * n, n],
+        n_components=n,
+    )

@@ -21,6 +21,8 @@ from repro.utils.rng import SeedLike, as_rng
 from repro.utils.validation import check_non_negative, check_positive, check_probability
 
 __all__ = [
+    "MIN_DURATION",
+    "draw_duration",
     "chain",
     "fork_join",
     "diamond",
@@ -33,16 +35,35 @@ __all__ = [
     "graham_anomaly_graph",
 ]
 
+#: Floor applied to every stochastic duration/communication draw.  At large
+#: coefficients of variation (``cv >> 1``) the gamma shape ``1/cv^2`` is tiny
+#: and ``rng.gamma`` underflows to exactly ``0.0`` for a sizeable fraction of
+#: draws; a zero duration would make a task free and a zero-length critical
+#: path possible, so draws are clamped to this floor.  Shared by every
+#: generator here and by the workload-zoo families
+#: (:mod:`repro.taskgraph.families`).
+MIN_DURATION = 1e-9
 
-def _draw_duration(rng, mean: float, cv: float) -> float:
-    """Draw a positive duration with the given mean and coefficient of variation."""
+
+def draw_duration(rng, mean: float, cv: float) -> float:
+    """Draw a positive duration with the given mean and coefficient of variation.
+
+    ``cv <= 0`` returns *mean* exactly (deterministic durations).  Otherwise
+    the draw is gamma distributed (shape ``1/cv^2``, which keeps values
+    positive) and clamped from below to :data:`MIN_DURATION` — the clamp only
+    engages for ``cv >> 1``, where the tiny gamma shape underflows to zero.
+    """
     if cv <= 0.0:
         return mean
     # Gamma distribution keeps durations positive; shape k = 1/cv^2.
     shape = 1.0 / (cv * cv)
     scale = mean / shape
     value = float(rng.gamma(shape, scale))
-    return max(value, 1e-9)
+    return max(value, MIN_DURATION)
+
+
+#: Backward-compatible alias (the generators below predate the public name).
+_draw_duration = draw_duration
 
 
 def chain(

@@ -7,6 +7,10 @@ characteristics — task count, mean duration, mean communication weight and
 communication/computation ratio — match the paper closely.  See
 :mod:`repro.workloads.suite` for the calibration targets and the registry
 used by the experiment drivers.
+
+Beyond the paper's four programs, :mod:`repro.workloads.zoo` re-exports the
+realistic workload zoo (:mod:`repro.taskgraph.families`: pegasus, elementary
+and irw families) and adapts it to the sweep's graph-family registry.
 """
 
 from repro.workloads.newton_euler import newton_euler
@@ -19,6 +23,13 @@ from repro.workloads.suite import (
     paper_program,
     paper_program_names,
 )
+from repro.workloads.zoo import (
+    FAMILIES,
+    FAMILY_GROUPS,
+    FamilySpec,
+    build_family,
+    zoo_graph_families,
+)
 
 __all__ = [
     "newton_euler",
@@ -29,4 +40,9 @@ __all__ = [
     "PaperProgramSpec",
     "paper_program",
     "paper_program_names",
+    "FAMILIES",
+    "FAMILY_GROUPS",
+    "FamilySpec",
+    "build_family",
+    "zoo_graph_families",
 ]

@@ -1,0 +1,49 @@
+"""Sweep-facing registry adapters for the workload zoo.
+
+The family registry itself lives in :mod:`repro.taskgraph.families` (fourteen
+validated pegasus/elementary/irw families, each with calibrated sweep-sized
+and >= 1000-task parameter sets).  This module adapts it to the scenario
+grids: :func:`zoo_graph_families` exposes every family as a
+``seed -> TaskGraph`` builder under its registry key (the sweep-sized
+instance) and as ``<key>-1k`` (the policy-study instance), the calling
+convention of :data:`repro.experiments.sweep.GRAPH_FAMILIES` — so ``--families
+montage mapreduce`` and ``--families montage-1k`` work on every sweep/runner
+entry point, and the per-worker graph caches and batched-lane grouping apply
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.taskgraph.families import FAMILIES, FAMILY_GROUPS, FamilySpec, build_family
+from repro.taskgraph.graph import TaskGraph
+
+__all__ = [
+    "FAMILIES",
+    "FAMILY_GROUPS",
+    "FamilySpec",
+    "build_family",
+    "LARGE_SUFFIX",
+    "zoo_graph_families",
+]
+
+#: Registry-key suffix selecting a family's >= 1000-task instance.
+LARGE_SUFFIX = "-1k"
+
+
+def zoo_graph_families() -> Dict[str, Callable[[int], TaskGraph]]:
+    """Every zoo family as sweep graph-family builders (``seed -> graph``).
+
+    Returns one entry per family under its registry key (sweep-sized, ~40-60
+    tasks) and one under ``<key>-1k`` (the >= 1000-task policy-study
+    instance).  Builders close over the frozen spec, so the mapping is stable
+    and picklable by key for multiprocessing sweeps.
+    """
+    builders: Dict[str, Callable[[int], TaskGraph]] = {}
+    for key, spec in FAMILIES.items():
+        builders[key] = (lambda seed, _spec=spec: _spec.build(seed=seed))
+        builders[key + LARGE_SUFFIX] = (
+            lambda seed, _spec=spec: _spec.build_large(seed=seed)
+        )
+    return builders

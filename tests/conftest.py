@@ -121,6 +121,14 @@ def golden_contention(golden_regen) -> GoldenStore:
     store.flush()
 
 
+@pytest.fixture(scope="session")
+def golden_families(golden_regen) -> GoldenStore:
+    """Golden fingerprints for the workload-zoo family cells."""
+    store = GoldenStore(GOLDEN_DIR / "families.json", golden_regen)
+    yield store
+    store.flush()
+
+
 @pytest.fixture
 def diamond_graph() -> TaskGraph:
     """A 4-task diamond: a -> {b, c} -> d, with communication weights."""

@@ -5,8 +5,9 @@ The batch engine's contract is that every lane of a lock-step run is
 tests pin it four ways:
 
 * differentially under hypothesis — batches of 2-5 mixed lanes (random
-  graphs × homogeneous and heterogeneous machines × every kernelized policy
-  × comm on/off), raw fingerprint equality per lane at both fidelities;
+  graphs and workload-zoo families × homogeneous and heterogeneous machines
+  × every kernelized policy × comm on/off), raw fingerprint equality per
+  lane at both fidelities;
 * structurally — lane-count dispatch (B ∈ {1, 3, 8}), ragged lane shapes,
   mixed-policy batches, SA lanes, and the per-lane materialized-context
   fallback (``n_fallback_epochs`` parity with the solo engine);
@@ -38,6 +39,7 @@ from repro.sim.batch_engine import run_batch, simulate_batch
 from repro.sim.compile import compile_scenario
 from repro.sim.engine import simulate
 from repro.sim.fast_engine import run_compiled, run_lanes
+from repro.taskgraph.families import FAMILIES
 from repro.taskgraph.generators import layered_random, random_dag
 from repro.taskgraph.graph import TaskGraph
 
@@ -112,11 +114,15 @@ _SETTINGS = settings(
 
 @st.composite
 def _lane_cells(draw):
-    """2-5 heterogeneous (graph, machine, policy factory) lane cells."""
+    """2-5 heterogeneous (graph, machine, policy factory) lane cells.
+
+    Graphs mix the random generators with workload-zoo families (drawn near
+    the lower end of each family's parameter grid to keep examples fast).
+    """
     n = draw(st.integers(2, 5))
     cells = []
     for _ in range(n):
-        kind = draw(st.sampled_from(["layered", "dag", "sparse"]))
+        kind = draw(st.sampled_from(["layered", "dag", "sparse", "family"]))
         seed = draw(st.integers(0, 10_000))
         if kind == "layered":
             graph = layered_random(
@@ -128,8 +134,15 @@ def _lane_cells(draw):
             )
         elif kind == "dag":
             graph = random_dag(draw(st.integers(1, 25)), edge_probability=0.25, seed=seed)
-        else:
+        elif kind == "sparse":
             graph = random_dag(draw(st.integers(1, 35)), edge_probability=0.05, seed=seed)
+        else:
+            spec = FAMILIES[draw(st.sampled_from(sorted(FAMILIES)))]
+            params = {
+                name: draw(st.integers(lo, min(hi, lo + 8)))
+                for name, (lo, hi) in sorted(spec.param_grid.items())
+            }
+            graph = spec.build(seed=seed, **params)
         machine = draw(st.sampled_from(_MACHINES))
         policy_name = draw(st.sampled_from(sorted(_POLICY_FACTORIES)))
         policy_seed = draw(st.integers(0, 100))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -150,3 +151,37 @@ class TestGeneratorProperties:
         expected = sum(branching**l for l in range(depth + 1))
         assert g.n_tasks == expected
         g.validate()
+
+
+class TestDrawDuration:
+    """The shared gamma duration draw and its ``MIN_DURATION`` floor."""
+
+    def test_cv_zero_is_deterministic(self):
+        rng = np.random.default_rng(0)
+        assert gen.draw_duration(rng, 7.5, 0.0) == 7.5
+
+    def test_moderate_cv_never_needs_the_clamp(self):
+        rng = np.random.default_rng(1)
+        draws = [gen.draw_duration(rng, 10.0, 0.3) for _ in range(2000)]
+        assert all(d > gen.MIN_DURATION for d in draws)
+
+    def test_extreme_cv_underflow_is_clamped_to_min_duration(self):
+        """cv >> 1 gives gamma shape 1/cv² ≈ 0; most mass underflows to 0.0.
+
+        Without the floor those zero draws become zero-duration tasks, which
+        ``TaskGraph.validate`` rejects and which break speedup ratios.  The
+        clamp must engage (some draws land exactly on ``MIN_DURATION``) and
+        every draw must respect the floor.
+        """
+        rng = np.random.default_rng(2)
+        draws = [gen.draw_duration(rng, 10.0, 100.0) for _ in range(500)]
+        assert all(d >= gen.MIN_DURATION for d in draws)
+        assert any(d == gen.MIN_DURATION for d in draws), (
+            "expected the cv=100 gamma (shape 1e-4) to underflow and engage "
+            "the MIN_DURATION clamp"
+        )
+
+    def test_private_alias_still_points_at_the_public_draw(self):
+        # _draw_duration predates the public name; generators and families
+        # must share one clamp.
+        assert gen._draw_duration is gen.draw_duration
