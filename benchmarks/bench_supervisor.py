@@ -1,0 +1,122 @@
+"""Benchmark: supervised pool execution vs a plain in-process loop.
+
+The supervisor (``src/repro/experiments/supervisor.py``) buys fault
+tolerance — per-cell timeouts, retry, worker respawn, checkpointing — with
+per-cell IPC over worker pipes.  This benchmark prices that machinery: the
+same grid of sweep cells is run once as a plain serial loop over
+:func:`run_scenario` and once through :func:`supervised_map` with the full
+supervision feature set armed (subprocess workers, wall-clock deadlines,
+retry budget).  The supervised throughput ratio (plain seconds / supervised
+seconds) must clear a deliberately generous floor: with two workers the
+supervised pass should beat the serial loop outright, and even with zero
+parallel gain the supervision tax must never halve throughput.
+
+Measured numbers are persisted to ``BENCH_supervisor.json`` at the
+repository root — gated by ``check_floors.py`` — and rendered to
+``benchmarks/results/supervisor_overhead.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.supervisor import SupervisorConfig, supervised_map
+from repro.experiments.sweep import build_grid, run_scenario
+
+REPO_ROOT = Path(__file__).parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_supervisor.json"
+
+#: Generous CI floor: the supervised pool (2 workers, timeouts armed) must
+#: deliver at least half the plain serial loop's throughput.  Locally it is
+#: faster than serial (the committed baseline records the measurement).
+MIN_RATIO = 0.5
+
+#: Sweep cells per pass; CI may shrink this via the environment.
+N_CELLS = int(os.environ.get("BENCH_SUPERVISOR_CELLS", "48"))
+
+#: Timed passes per mode; the minimum is kept (loaded machines only ever
+#: inflate a wall-clock measurement).
+REPEATS = 2
+
+_SCIENCE = ("policy", "machine", "graph_seed", "makespan", "speedup")
+
+
+def _grid():
+    n_seeds = max(1, (N_CELLS + 3) // 4)  # 2 policies x 2 machines per seed
+    return build_grid(
+        policies=("HLF", "ETF"),
+        machines=("hypercube8", "ring9"),
+        families=("dag200",),
+        n_seeds=n_seeds,
+    )[:N_CELLS]
+
+
+@pytest.mark.benchmark(group="supervisor")
+def test_supervised_throughput_ratio(benchmark, save_artifact):
+    specs = _grid()
+    config = SupervisorConfig(jobs=2, timeout=300.0, retries=2)
+
+    plain_s = supervised_s = float("inf")
+    plain_rows = supervised_rows = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        plain_rows = [run_scenario(dict(spec)) for spec in specs]
+        plain_s = min(plain_s, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        supervised_rows, stats = supervised_map(
+            run_scenario, [dict(spec) for spec in specs], config
+        )
+        supervised_s = min(supervised_s, time.perf_counter() - start)
+
+    # Equivalence proof: supervision changes scheduling, never numbers.
+    for plain, supervised in zip(plain_rows, supervised_rows):
+        for key in _SCIENCE:
+            assert plain[key] == supervised[key], (
+                f"supervised run diverged from the plain loop on {key}"
+            )
+    assert stats["mode"] == "pool" and stats["failed_items"] == 0
+
+    ratio = plain_s / supervised_s
+    payload = {
+        "benchmark": "bench_supervisor",
+        "scenario": (
+            f"{len(specs)} dag200 cells x {{HLF, ETF}} x "
+            "{hypercube8, ring9}: plain serial loop vs supervised pool "
+            "(2 workers, 300s deadline armed, retries 2)"
+        ),
+        "n_cells": len(specs),
+        "plain_ms": round(plain_s * 1e3, 3),
+        "supervised_ms": round(supervised_s * 1e3, 3),
+        "supervised_throughput_ratio": round(ratio, 2),
+        "min_ratio_asserted": MIN_RATIO,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=1) + "\n")
+
+    lines = [
+        "Supervisor benchmark: supervised pool vs plain serial loop",
+        payload["scenario"],
+        "",
+        f"plain loop      {plain_s * 1e3:>10.2f}ms",
+        f"supervised pool {supervised_s * 1e3:>10.2f}ms",
+        f"throughput ratio {ratio:>8.2f}x (floor {MIN_RATIO}x)",
+    ]
+    save_artifact("supervisor_overhead", "\n".join(lines))
+    print("\n".join(lines))
+
+    assert ratio >= MIN_RATIO, (
+        f"supervised pool delivers only {ratio:.2f}x the plain loop's "
+        f"throughput (floor {MIN_RATIO}x); see BENCH_supervisor.json"
+    )
+
+    # pytest-benchmark timing: one supervised pass over the grid.
+    benchmark(
+        lambda: supervised_map(
+            run_scenario, [dict(spec) for spec in specs], config
+        )
+    )

@@ -59,6 +59,9 @@ FLOOR_CHECKS = {
     "BENCH_families.json": [
         ("batched_sweep_speedup", "min_speedup_asserted"),
     ],
+    "BENCH_supervisor.json": [
+        ("supervised_throughput_ratio", "min_ratio_asserted"),
+    ],
 }
 
 

@@ -17,6 +17,10 @@ __all__ = [
     "SchedulingError",
     "SimulationError",
     "ConfigurationError",
+    "WorkerError",
+    "CellTimeoutError",
+    "EngineFallbackError",
+    "ChaosError",
 ]
 
 
@@ -54,3 +58,54 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid configuration values (SA parameters, weights, ...)."""
+
+
+class WorkerError(ReproError):
+    """A supervised worker failed to produce a valid result for a cell.
+
+    Carries the structured failure record the supervisor accumulated:
+    *error_type* (the original exception class name, or a synthetic tag such
+    as ``"WorkerDeath"`` / ``"MalformedResult"``), the formatted *traceback*
+    when one was captured, and the number of *attempts* consumed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        error_type: str = "WorkerError",
+        traceback: str = "",
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+        self.traceback = traceback
+        self.attempts = attempts
+
+
+class CellTimeoutError(WorkerError):
+    """A cell exceeded its per-cell wall-clock timeout and its worker was killed."""
+
+    def __init__(self, message: str, attempts: int = 1) -> None:
+        super().__init__(
+            message, error_type="CellTimeoutError", attempts=attempts
+        )
+
+
+class EngineFallbackError(SimulationError):
+    """An engine tier failed and execution degraded down the ladder.
+
+    Subclasses :class:`SimulationError` so existing callers that catch the
+    simulator's errors keep working; raised when a forced engine cannot run a
+    scenario, and recorded (not raised) when the sweep quarantines a cell
+    from the batched lane to a solo run or from the fast engine to the
+    object engine.
+    """
+
+    def __init__(self, message: str, tier: str = "fast", cause: str = "") -> None:
+        super().__init__(message)
+        self.tier = tier
+        self.cause = cause
+
+
+class ChaosError(ReproError):
+    """An injected fault from the chaos harness (:mod:`repro.utils.chaos`)."""

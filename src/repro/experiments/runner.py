@@ -29,7 +29,12 @@ __all__ = ["run_all", "run_hetero_study", "main"]
 
 
 def run_hetero_study(
-    seed: int = 0, jobs: int = 1, n_seeds: int = 3, lanes: int = 1
+    seed: int = 0,
+    jobs: int = 1,
+    n_seeds: int = 3,
+    lanes: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 2,
 ) -> str:
     """A small heterogeneous-machines sweep rendered as a report section.
 
@@ -37,6 +42,8 @@ def run_hetero_study(
     × weighted topologies) on *n_seeds* layered random graphs per machine and
     returns the aggregate table.  *lanes* batches compatible cells through
     the lock-step engine (processes × lanes, bit-identical results).
+    *timeout* and *retries* arm the supervisor's per-cell wall-clock limit and
+    retry budget (see :mod:`repro.experiments.supervisor`).
     """
     from repro.experiments.sweep import HETERO_MACHINES, format_sweep_report, run_sweep
 
@@ -48,6 +55,8 @@ def run_hetero_study(
         base_seed=seed,
         jobs=jobs,
         lanes=lanes,
+        timeout=timeout,
+        retries=retries,
     )
     header = (
         "Extension - heterogeneous machines "
@@ -63,6 +72,8 @@ def run_all(
     fidelity: str = "latency",
     hetero: bool = False,
     lanes: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 2,
 ) -> str:
     """Regenerate every table and figure and return the combined report text."""
     sections = [
@@ -76,7 +87,14 @@ def run_all(
         run_figure2(seed=seed).chart,
     ]
     if hetero:
-        sections.extend(["", run_hetero_study(seed=seed, jobs=jobs, lanes=lanes)])
+        sections.extend(
+            [
+                "",
+                run_hetero_study(
+                    seed=seed, jobs=jobs, lanes=lanes, timeout=timeout, retries=retries
+                ),
+            ]
+        )
     return "\n".join(sections)
 
 
@@ -115,9 +133,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             "(composes with --jobs as processes x lanes; results identical)"
         ),
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock timeout (seconds) for the --hetero sweep",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="retry budget per failed cell in the --hetero sweep",
+    )
     args = parser.parse_args(argv)
     if args.lanes < 1:
         parser.error(f"--lanes must be >= 1, got {args.lanes}")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error(f"--timeout must be > 0, got {args.timeout}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
     print(
         run_all(
             seed=args.seed,
@@ -126,6 +160,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             fidelity=args.fidelity,
             hetero=args.hetero,
             lanes=args.lanes,
+            timeout=args.timeout,
+            retries=args.retries,
         )
     )
     return 0

@@ -1,0 +1,705 @@
+"""Supervised fault-tolerant execution for scenario sweeps.
+
+``parallel_map``'s bare ``pool.map`` could not survive a single misbehaving
+worker: a hung cell blocked the whole sweep forever, a crashed worker lost
+every in-flight cell, and a 10k-cell grid that died at cell 9,999 had to
+start over.  This module replaces it with a supervised worker pool in the
+style of distributed discrete-event control systems, where supervision and
+graceful degradation are first-class structure:
+
+* **Per-cell wall-clock timeouts** — a worker that exceeds ``timeout`` on
+  one cell is killed (SIGKILL) and replaced; the cell is retried elsewhere.
+* **Bounded retry with exponential backoff + jitter** — transient failures
+  (exceptions, malformed results) are retried up to ``retries`` additional
+  times; the jitter is a deterministic hash draw so reruns behave
+  identically.
+* **Worker-death detection with respawn** — a worker that exits abruptly
+  (segfault, ``os._exit``, OOM kill) is detected through its pipe's EOF,
+  its in-flight cell is re-dispatched, and a replacement worker is forked.
+* **Worker recycling** — ``maxtasksperchild`` retires a worker after a
+  fixed number of cells so leaky workers cannot grow without bound.
+* **Journaled checkpointing** — an append-only JSONL journal of completed
+  rows keyed by spec hash lets an interrupted sweep ``--resume``: finished
+  cells are restored from the journal and only unfinished cells re-execute,
+  reproducing bit-identical aggregates.
+
+The pool is plumbing, not policy: cells are dispatched one at a time over a
+per-worker duplex pipe (so the supervisor always knows which worker owns
+which cell, and killing one worker cannot corrupt a shared queue), results
+return in input order, and a run with ``jobs=1`` and no supervision features
+short-circuits to a plain in-process loop.
+
+Fault injection (:mod:`repro.utils.chaos`) threads through the same worker
+wrapper, so the test suite and the CI chaos job can prove the whole ladder:
+with 10–20% injected crashes/hangs/deaths/malformed rows, a sweep completes
+with rows bit-identical (science fields) to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing as mp
+import multiprocessing.connection as mp_connection
+import os
+import time
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, WorkerError
+from repro.utils.chaos import MALFORMED_PAYLOAD, ChaosConfig, det_uniform
+
+__all__ = [
+    "SupervisorConfig",
+    "Checkpoint",
+    "supervised_map",
+    "spec_key",
+    "group_key",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Stable cell keys
+# --------------------------------------------------------------------------- #
+
+def spec_key(spec: dict) -> str:
+    """A stable content hash of a scenario spec.
+
+    Keys starting with ``_`` (volatile bookkeeping such as ``_index``) are
+    excluded, so the hash depends only on what the cell *is*, not on where
+    it sits in the grid or how it was scheduled.  Used to key checkpoint
+    journal entries and chaos decisions.
+    """
+    payload = {k: v for k, v in spec.items() if not k.startswith("_")}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def group_key(keys: Sequence[str]) -> str:
+    """A stable key for a lane group, derived from its member cell keys."""
+    blob = ",".join(keys).encode("utf-8")
+    return "g" + hashlib.sha256(blob).hexdigest()[:15]
+
+
+def _default_item_key(item: object) -> str:
+    if isinstance(item, dict):
+        return spec_key(item)
+    if isinstance(item, (list, tuple)):
+        return group_key([_default_item_key(member) for member in item])
+    blob = json.dumps(item, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------- #
+# Configuration
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class SupervisorConfig:
+    """How the supervised pool runs, retries, and degrades.
+
+    ``timeout`` and ``chaos`` require process isolation (a hang can only be
+    killed, and an injected ``die`` fault only survived, across a process
+    boundary), so either forces the pool path even at ``jobs=1``; without
+    them a single-job run executes inline.
+    """
+
+    jobs: int = 1
+    #: Per-cell wall-clock budget in seconds; ``None`` disables timeouts.
+    timeout: Optional[float] = None
+    #: Additional attempts after the first (0 = fail on first error).
+    retries: int = 2
+    #: First-retry backoff in seconds; doubles per attempt, plus jitter.
+    backoff_base: float = 0.05
+    #: Ceiling for the exponential backoff delay.
+    backoff_max: float = 2.0
+    #: Seed for the deterministic backoff jitter.
+    seed: int = 0
+    #: Retire a worker after this many cells (``None`` = never).
+    maxtasksperchild: Optional[int] = None
+    #: Fault-injection plan applied around every cell in pool workers.
+    chaos: Optional[ChaosConfig] = None
+    #: Supervisor wake-up interval while waiting on workers.
+    poll_interval: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError(f"timeout must be > 0, got {self.timeout}")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.maxtasksperchild is not None and self.maxtasksperchild < 1:
+            raise ConfigurationError(
+                f"maxtasksperchild must be >= 1, got {self.maxtasksperchild}"
+            )
+
+    @property
+    def needs_isolation(self) -> bool:
+        """Whether supervision features require subprocess workers."""
+        return self.timeout is not None or self.chaos is not None
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """The deterministic backoff before retrying *key* after *attempt*."""
+        base = min(self.backoff_max, self.backoff_base * (2 ** (attempt - 1)))
+        return base * (1.0 + det_uniform(self.seed, "jitter", key, attempt))
+
+
+# --------------------------------------------------------------------------- #
+# Checkpoint journal
+# --------------------------------------------------------------------------- #
+
+class Checkpoint:
+    """Append-only JSONL journal of completed sweep cells.
+
+    Line 1 is a header carrying the grid fingerprint; every subsequent line
+    is ``{"kind": "row", "key": <spec hash>, "row": {...}}`` appended (and
+    flushed) the moment a cell completes.  A process killed mid-write leaves
+    at most one partial trailing line, which :meth:`load` skips — everything
+    before it is intact, which is the crash-safety contract ``--resume``
+    relies on.
+    """
+
+    def __init__(self, path: str, fingerprint: dict, restored: Dict[str, dict], fh):
+        self.path = path
+        self.fingerprint = fingerprint
+        self.restored = restored
+        self._fh = fh
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _scan(path: str) -> Tuple[Optional[dict], Dict[str, dict], int]:
+        """Parse a journal: ``(fingerprint, rows by key, valid byte length)``.
+
+        The byte length covers every decodable line; a partial trailing line
+        from a killed run falls outside it.
+        """
+        fingerprint: Optional[dict] = None
+        rows: Dict[str, dict] = {}
+        valid_end = 0
+        offset = 0
+        with open(path, "rb") as fh:
+            for raw in fh:
+                offset += len(raw)
+                line = raw.decode("utf-8", errors="replace").strip()
+                if line:
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue  # partial trailing line of an interrupted run
+                    if entry.get("kind") == "header":
+                        fingerprint = entry.get("fingerprint")
+                    elif entry.get("kind") == "row":
+                        rows[entry["key"]] = entry["row"]
+                valid_end = offset
+        return fingerprint, rows, valid_end
+
+    @classmethod
+    def load(cls, path: str) -> Tuple[Optional[dict], Dict[str, dict]]:
+        """Read a journal: ``(header fingerprint, rows by spec key)``.
+
+        Undecodable lines (the partial trailing write of a killed run) are
+        skipped; a duplicate key keeps the last row recorded.
+        """
+        fingerprint, rows, _valid_end = cls._scan(path)
+        return fingerprint, rows
+
+    @classmethod
+    def open(cls, path: str, fingerprint: dict, resume: bool = False) -> "Checkpoint":
+        """Open (or create) the journal at *path* for this grid.
+
+        With ``resume=True`` and an existing journal, previously completed
+        rows are restored — after verifying the journal's header fingerprint
+        matches this grid, so a checkpoint from a different sweep cannot be
+        silently replayed into this one.  Without ``resume`` (or without an
+        existing file) the journal is started fresh.
+        """
+        restored: Dict[str, dict] = {}
+        if resume and os.path.exists(path):
+            recorded, rows, valid_end = cls._scan(path)
+            if recorded is None and rows:
+                raise ConfigurationError(
+                    f"checkpoint {path!r} has rows but no readable header; "
+                    "refusing to resume from a corrupt journal"
+                )
+            if recorded is not None and recorded != fingerprint:
+                raise ConfigurationError(
+                    f"checkpoint {path!r} was journaled for a different sweep "
+                    f"grid (header {recorded} != this grid {fingerprint}); "
+                    "pass a fresh --checkpoint path or drop --resume"
+                )
+            restored = rows
+            # Drop the partial trailing line a killed run may have left, so
+            # appended records cannot merge into it.
+            if valid_end < os.path.getsize(path):
+                with open(path, "r+b") as trunc:
+                    trunc.truncate(valid_end)
+            fh = open(path, "a")
+        else:
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            fh = open(path, "w")
+            fh.write(json.dumps({"kind": "header", "fingerprint": fingerprint}) + "\n")
+            fh.flush()
+        return cls(path, fingerprint, restored, fh)
+
+    def record(self, key: str, row: dict) -> None:
+        """Append one completed row and flush it to disk immediately."""
+        self._fh.write(json.dumps({"kind": "row", "key": key, "row": row}) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Checkpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# The supervised pool
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class _Task:
+    index: int
+    key: str
+    item: object
+    attempt: int = 1
+    ready_at: float = 0.0
+    failures: List[dict] = field(default_factory=list)
+
+
+class _Worker:
+    """One supervised worker process and its duplex pipe."""
+
+    def __init__(self, ctx, fn, config: SupervisorConfig):
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_loop,
+            args=(child_conn, fn, config.chaos, config.maxtasksperchild),
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.current: Optional[_Task] = None
+        self.deadline: Optional[float] = None
+        self.tasks_done = 0
+
+    def dispatch(self, task: _Task, timeout: Optional[float]) -> None:
+        self.conn.send((task.index, task.attempt, task.key, task.item))
+        self.current = task
+        self.deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+
+    def shutdown(self, kill: bool = False) -> None:
+        """Retire this worker: polite sentinel first, SIGKILL when asked."""
+        if kill and self.proc.is_alive():
+            self.proc.kill()
+        elif self.proc.is_alive():
+            try:
+                self.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        self.proc.join(timeout=5.0)
+        if self.proc.is_alive():  # pragma: no cover - stuck even after SIGKILL
+            self.proc.kill()
+            self.proc.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+def _worker_loop(conn, fn, chaos: Optional[ChaosConfig], max_tasks: Optional[int]):
+    """Worker body: receive a cell, run it (through chaos, if armed), reply.
+
+    Exits after ``max_tasks`` cells (the supervisor reads the EOF as a clean
+    recycle) or on the ``None`` shutdown sentinel.  Every exception — the
+    cell's or an injected one — is reported as a structured failure tuple;
+    injected ``die`` faults never reach the reply.
+    """
+    done = 0
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, KeyboardInterrupt):  # pragma: no cover - supervisor gone
+            break
+        if msg is None:
+            break
+        index, attempt, key, item = msg
+        try:
+            payload = chaos.inject(key, attempt) if chaos is not None else None
+            if payload is None:
+                payload = fn(item)
+            reply = (index, attempt, True, payload, None)
+        except KeyboardInterrupt:  # pragma: no cover - interrupted mid-cell
+            break
+        except BaseException as exc:
+            reply = (
+                index,
+                attempt,
+                False,
+                None,
+                (type(exc).__name__, str(exc), traceback_module.format_exc()),
+            )
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):  # pragma: no cover - supervisor gone
+            break
+        done += 1
+        if max_tasks is not None and done >= max_tasks:
+            break
+    conn.close()
+
+
+def _new_stats(mode: str, jobs: int, n_items: int) -> dict:
+    return {
+        "mode": mode,
+        "jobs": jobs,
+        "n_items": n_items,
+        "attempts": 0,
+        "retries": 0,
+        "timeouts": 0,
+        "worker_deaths": 0,
+        "respawns": 0,
+        "recycles": 0,
+        "failed_items": 0,
+    }
+
+
+def _exception_failure(exc: BaseException) -> dict:
+    return {
+        "kind": "exception",
+        "error_type": type(exc).__name__,
+        "error": str(exc),
+        "traceback": traceback_module.format_exc(),
+    }
+
+
+def supervised_map(
+    fn: Callable[[object], object],
+    items: Sequence[object],
+    config: Optional[SupervisorConfig] = None,
+    *,
+    item_key: Optional[Callable[[object], str]] = None,
+    validate: Optional[Callable[[object, object], None]] = None,
+    annotate: Optional[Callable[[object, object, int, List[dict]], object]] = None,
+    on_failure: Optional[Callable[[object, List[dict]], object]] = None,
+    on_result: Optional[Callable[[object, object], None]] = None,
+) -> Tuple[List[object], dict]:
+    """Map *fn* over *items* under supervision; returns ``(results, stats)``.
+
+    Results keep input order regardless of scheduling, retries, or worker
+    deaths.  Hooks:
+
+    ``item_key(item)``
+        Stable string key for chaos/backoff determinism and journaling
+        (default: content hash of the item).
+    ``validate(item, result)``
+        Raise to reject a structurally invalid result; the attempt is
+        recorded as a ``MalformedResult`` failure and retried.
+    ``annotate(item, result, attempt, failures)``
+        Transform a successful result before it is stored (e.g. stamp the
+        attempt count onto sweep rows).
+    ``on_failure(item, failures)``
+        Build the terminal result for a cell whose attempts are exhausted;
+        without it the supervisor raises :class:`WorkerError`.
+    ``on_result(item, result)``
+        Called once per *successful* item as it completes (checkpointing);
+        terminal failures are not journaled, so a resumed run retries them.
+    """
+    config = config or SupervisorConfig()
+    items = list(items)
+    key_fn = item_key or _default_item_key
+    n = len(items)
+    retries = config.retries
+
+    def _check(item, payload) -> Optional[str]:
+        """None when *payload* is valid, else a failure message."""
+        if config.chaos is not None and payload == MALFORMED_PAYLOAD:
+            return "worker returned the chaos-injected malformed payload"
+        if validate is not None:
+            try:
+                validate(item, payload)
+            except Exception as exc:
+                return f"{type(exc).__name__}: {exc}"
+        return None
+
+    def _malformed_failure(message: str) -> dict:
+        return {
+            "kind": "malformed",
+            "error_type": "MalformedResult",
+            "error": message,
+            "traceback": "",
+        }
+
+    # ------------------------------------------------------------------ #
+    # Inline path: nothing to supervise across a process boundary.
+    # ------------------------------------------------------------------ #
+    if (config.jobs <= 1 or n <= 1) and not config.needs_isolation:
+        stats = _new_stats("inline", 1, n)
+        results: List[object] = [None] * n
+        for index, item in enumerate(items):
+            key = key_fn(item)
+            failures: List[dict] = []
+            attempt = 0
+            while True:
+                attempt += 1
+                stats["attempts"] += 1
+                failure = None
+                try:
+                    payload = fn(item)
+                except Exception as exc:
+                    failure = _exception_failure(exc)
+                else:
+                    message = _check(item, payload)
+                    if message is not None:
+                        failure = _malformed_failure(message)
+                if failure is None:
+                    if annotate is not None:
+                        payload = annotate(item, payload, attempt, failures)
+                    results[index] = payload
+                    if on_result is not None:
+                        on_result(item, payload)
+                    break
+                failures.append(failure)
+                if attempt <= retries:
+                    stats["retries"] += 1
+                    time.sleep(config.backoff_delay(key, attempt))
+                    continue
+                stats["failed_items"] += 1
+                if on_failure is None:
+                    raise WorkerError(
+                        f"cell {key} failed after {attempt} attempt(s): "
+                        f"{failure['error_type']}: {failure['error']}",
+                        error_type=failure["error_type"],
+                        traceback=failure["traceback"],
+                        attempts=attempt,
+                    )
+                results[index] = on_failure(item, failures)
+                break
+        return results, stats
+
+    # ------------------------------------------------------------------ #
+    # Pool path: per-worker pipes, timeouts, respawn, recycling.
+    # ------------------------------------------------------------------ #
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+    jobs = max(1, min(config.jobs, n))
+    stats = _new_stats("pool", jobs, n)
+    results = [None] * n
+    done = [False] * n
+    n_done = 0
+    pending: List[_Task] = [
+        _Task(index=i, key=key_fn(item), item=item) for i, item in enumerate(items)
+    ]
+    pending.reverse()  # pop() from the tail keeps input order
+
+    def _pop_ready(now: float) -> Optional[_Task]:
+        best = None
+        for i in range(len(pending) - 1, -1, -1):
+            task = pending[i]
+            if task.ready_at <= now:
+                best = i
+                break
+        if best is None:
+            return None
+        return pending.pop(best)
+
+    workers: List[_Worker] = [_Worker(ctx, fn, config) for _ in range(jobs)]
+
+    def _respawn(slot: int) -> None:
+        stats["respawns"] += 1
+        workers[slot] = _Worker(ctx, fn, config)
+
+    def _complete(task: _Task, payload: object, journal: bool) -> None:
+        nonlocal n_done
+        results[task.index] = payload
+        done[task.index] = True
+        n_done += 1
+        if journal and on_result is not None:
+            on_result(task.item, payload)
+
+    def _fail_attempt(task: _Task, failure: dict) -> None:
+        """Record one failed attempt: requeue with backoff, or go terminal."""
+        task.failures.append(failure)
+        if task.attempt <= retries:
+            stats["retries"] += 1
+            delay = config.backoff_delay(task.key, task.attempt)
+            task.attempt += 1
+            task.ready_at = time.monotonic() + delay
+            pending.append(task)
+            return
+        stats["failed_items"] += 1
+        if on_failure is None:
+            for worker in workers:
+                worker.shutdown(kill=True)
+            raise WorkerError(
+                f"cell {task.key} failed after {task.attempt} attempt(s): "
+                f"{failure['error_type']}: {failure['error']}",
+                error_type=failure["error_type"],
+                traceback=failure.get("traceback", ""),
+                attempts=task.attempt,
+            )
+        _complete(task, on_failure(task.item, task.failures), journal=False)
+
+    def _handle_exit(slot: int) -> None:
+        """A worker's pipe hit EOF: clean recycle or abrupt death."""
+        worker = workers[slot]
+        task = worker.current
+        worker.current = None
+        worker.proc.join(timeout=5.0)
+        exitcode = worker.proc.exitcode
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if task is not None:
+            stats["worker_deaths"] += 1
+            _fail_attempt(
+                task,
+                {
+                    "kind": "death",
+                    "error_type": "WorkerDeath",
+                    "error": (
+                        f"worker died with exit code {exitcode} while "
+                        f"running cell {task.key} (attempt {task.attempt})"
+                    ),
+                    "traceback": "",
+                },
+            )
+        elif (
+            config.maxtasksperchild is not None
+            and worker.tasks_done >= config.maxtasksperchild
+        ):
+            stats["recycles"] += 1
+        if n_done < n:
+            _respawn(slot)
+
+    try:
+        while n_done < n:
+            now = time.monotonic()
+            # Reap idle workers that exited (a maxtasksperchild recycle whose
+            # EOF landed after its last reply): without this, the dead pipe
+            # would never be drained and the slot never refilled.
+            for slot, worker in enumerate(workers):
+                if worker.current is None and not worker.proc.is_alive():
+                    _handle_exit(slot)
+            # Dispatch ready cells to idle, live workers.
+            for slot, worker in enumerate(workers):
+                if worker.current is not None or not worker.proc.is_alive():
+                    continue
+                task = _pop_ready(now)
+                if task is None:
+                    break
+                try:
+                    worker.dispatch(task, config.timeout)
+                except (BrokenPipeError, OSError):
+                    # The worker exited between the liveness check and the
+                    # send (e.g. a recycle completing): the task never left,
+                    # so requeue it and reap/refill the slot.
+                    worker.current = None
+                    worker.deadline = None
+                    pending.append(task)
+                    _handle_exit(slot)
+                    continue
+                stats["attempts"] += 1
+
+            # Wait for the next event: a result, a death, a deadline, or a
+            # backoff expiry — whichever comes first.
+            wait_t = config.poll_interval
+            for worker in workers:
+                if worker.deadline is not None and worker.current is not None:
+                    wait_t = min(wait_t, max(0.0, worker.deadline - now))
+            for task in pending:
+                wait_t = min(wait_t, max(0.0, task.ready_at - now))
+            conn_map = {
+                worker.conn: slot
+                for slot, worker in enumerate(workers)
+                if worker.current is not None or worker.proc.is_alive()
+            }
+            if conn_map:
+                ready = mp_connection.wait(list(conn_map), timeout=wait_t)
+            else:  # pragma: no cover - all workers retired simultaneously
+                time.sleep(wait_t)
+                ready = []
+
+            for conn in ready:
+                slot = conn_map[conn]
+                worker = workers[slot]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    _handle_exit(slot)
+                    continue
+                index, attempt, ok, payload, err = msg
+                task = worker.current
+                worker.current = None
+                worker.deadline = None
+                worker.tasks_done += 1
+                if task is None or task.index != index or done[index]:
+                    continue  # stale reply from a superseded attempt
+                if ok:
+                    message = _check(task.item, payload)
+                    if message is None:
+                        if annotate is not None:
+                            payload = annotate(
+                                task.item, payload, task.attempt, task.failures
+                            )
+                        _complete(task, payload, journal=True)
+                    else:
+                        _fail_attempt(task, _malformed_failure(message))
+                else:
+                    error_type, error, tb = err
+                    _fail_attempt(
+                        task,
+                        {
+                            "kind": "exception",
+                            "error_type": error_type,
+                            "error": error,
+                            "traceback": tb,
+                        },
+                    )
+
+            # Kill workers whose in-flight cell blew its wall-clock budget.
+            now = time.monotonic()
+            for slot, worker in enumerate(workers):
+                if (
+                    worker.current is not None
+                    and worker.deadline is not None
+                    and now > worker.deadline
+                ):
+                    task = worker.current
+                    worker.current = None
+                    stats["timeouts"] += 1
+                    worker.shutdown(kill=True)
+                    _fail_attempt(
+                        task,
+                        {
+                            "kind": "timeout",
+                            "error_type": "CellTimeoutError",
+                            "error": (
+                                f"cell {task.key} exceeded the {config.timeout}s "
+                                f"wall-clock timeout (attempt {task.attempt}); "
+                                "its worker was killed"
+                            ),
+                            "traceback": "",
+                        },
+                    )
+                    if n_done < n:
+                        _respawn(slot)
+    finally:
+        for worker in workers:
+            worker.shutdown()
+    return results, stats

@@ -72,17 +72,44 @@ a reference ``PacketContext`` (0 when every policy ran through an
 index-space kernel), and ``meta.lanes`` records the lane/batch configuration
 with per-lane fallback counts.
 
-The module also exposes :func:`parallel_map`, the pool helper the other
-experiment drivers (e.g. Table 2 with ``--jobs``) reuse.
+Execution is **supervised** (``src/repro/experiments/supervisor.py``): every
+cell (or lane group) runs under a per-item wall-clock ``--timeout``, failed
+items are retried up to ``--retries`` times with exponential backoff +
+deterministic jitter, a crashed or killed worker is respawned and its item
+re-dispatched, and ``--maxtasksperchild`` recycles leaky workers.  Failures
+degrade down an engine ladder instead of poisoning the sweep: a cell that
+fails on the batched lane is quarantined to a solo fast-engine run, a cell
+that fails on the fast engine retries on the reference object engine, and a
+cell that exhausts every rung carries a structured error row
+(``error_type`` / ``traceback`` / ``attempts`` / ``engine_used``).
+``--checkpoint`` journals completed rows to an append-only JSONL file keyed
+by spec hash, and ``--resume`` restores them — re-executing only unfinished
+cells, with rows and aggregates identical to an uninterrupted run::
+
+    python -m repro.experiments.sweep --jobs 4 --lanes 8 --timeout 30 \
+        --checkpoint sweep.ckpt.jsonl --out sweep.json
+    # ... interrupted? pick up where it left off:
+    python -m repro.experiments.sweep --jobs 4 --lanes 8 --timeout 30 \
+        --checkpoint sweep.ckpt.jsonl --resume --out sweep.json
+
+``--chaos RATE`` injects seeded, deterministic faults (worker exceptions,
+hangs, abrupt deaths, malformed rows — ``repro/utils/chaos.py``) to prove
+the ladder: a chaotic sweep must complete with science rows bit-identical
+to a fault-free run (the CI chaos job asserts exactly that).
+
+The module also exposes :func:`parallel_map`, the supervised pool helper the
+other experiment drivers (e.g. Table 2 with ``--jobs``) reuse.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
-import multiprocessing as mp
 import os
 import time
+import traceback as traceback_module
+from collections import Counter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -90,6 +117,14 @@ import numpy as np
 from repro.comm.model import LinearCommModel, ZeroCommModel
 from repro.core.config import SAConfig
 from repro.core.sa_scheduler import SAScheduler
+from repro.exceptions import ConfigurationError, WorkerError
+from repro.experiments.supervisor import (
+    Checkpoint,
+    SupervisorConfig,
+    group_key,
+    spec_key,
+    supervised_map,
+)
 from repro.machine.machine import Machine
 from repro.schedulers.etf import ETFScheduler
 from repro.schedulers.fifo import FIFOScheduler
@@ -97,9 +132,10 @@ from repro.schedulers.hlf import HLFScheduler
 from repro.schedulers.lpt import LPTScheduler
 from repro.schedulers.random_policy import RandomScheduler
 from repro.sim.compile import compile_scenario, scenario_cache_stats
-from repro.sim.engine import simulate
+from repro.sim.engine import simulate_degraded
 from repro.sim.fast_engine import run_lanes
 from repro.taskgraph.generators import layered_random, random_dag
+from repro.utils.chaos import FAULT_KINDS, ChaosConfig
 from repro.utils.tabulate import format_table
 from repro.workloads.zoo import zoo_graph_families
 
@@ -108,6 +144,7 @@ __all__ = [
     "HETERO_MACHINES",
     "GRAPH_FAMILIES",
     "POLICY_BUILDERS",
+    "SCIENCE_FIELDS",
     "speed_ramp",
     "hetero_machine",
     "build_grid",
@@ -115,6 +152,8 @@ __all__ = [
     "run_lane_group",
     "run_sweep",
     "parallel_map",
+    "comparable_rows",
+    "comparable_aggregates",
     "format_sweep_report",
     "main",
 ]
@@ -345,24 +384,44 @@ def build_grid(
     return grid
 
 
+def _error_fields(exc_type: str, message: str, tb: str) -> dict:
+    """The row fields of a cell that exhausted every tier of the ladder."""
+    return dict(
+        makespan=None, speedup=None, n_tasks=None, n_packets=None,
+        n_fallback_epochs=None,
+        error=f"{exc_type}: {message}",
+        error_type=exc_type,
+        traceback=tb,
+        engine_used=None,
+        engine_fallbacks=[],
+    )
+
+
 def run_scenario(spec: dict) -> dict:
     """Run one scenario spec and return its result row (the pool worker).
 
-    Failures are captured in the row (``error`` key) instead of poisoning the
-    whole sweep.
+    Runs through :func:`~repro.sim.engine.simulate_degraded`, so a cell that
+    fails on the compiled fast engine retries once on the reference object
+    engine (bit-identical numbers) before giving up; the rungs taken are
+    recorded in the row's ``engine_used`` / ``engine_fallbacks`` fields.
+    Terminal failures are captured in the row (``error`` plus the structured
+    ``error_type`` / ``traceback``) instead of poisoning the whole sweep.
     """
     row = dict(spec)
+    row.setdefault("lane_fallback", None)
+    row.setdefault("attempts", 1)
     start = time.perf_counter()
     cache_before = scenario_cache_stats()
     try:
         graph = _cached_graph(spec["family"], spec["graph_seed"])
         machine = _cached_machine(spec["machine"])
-        policy = POLICY_BUILDERS[spec["policy"]](spec["policy_seed"])
         comm_model = LinearCommModel() if spec["with_comm"] else ZeroCommModel()
-        result = simulate(
+        result, engine_used, fallbacks = simulate_degraded(
             graph,
             machine,
-            policy,
+            # A fresh policy per engine attempt: the object-engine retry
+            # replays the identical stochastic stream from the start.
+            lambda: POLICY_BUILDERS[spec["policy"]](spec["policy_seed"]),
             comm_model=comm_model,
             fidelity=spec.get("fidelity", "latency"),
             record_trace=False,
@@ -379,16 +438,43 @@ def run_scenario(spec: dict) -> dict:
             n_packets=result.n_packets,
             n_fallback_epochs=result.n_fallback_epochs,
             error=None,
+            error_type=None,
+            traceback=None,
+            engine_used=engine_used,
+            engine_fallbacks=fallbacks,
         )
-    except Exception as exc:  # pragma: no cover - defensive
-        row.update(makespan=None, speedup=None, n_tasks=None, n_packets=None,
-                   n_fallback_epochs=None,
-                   error=f"{type(exc).__name__}: {exc}")
+    except Exception as exc:
+        # The row-capture boundary of the ladder: record the structured
+        # taxonomy (type + traceback) so the failure is diagnosable from
+        # the report, and let the sweep carry on.
+        row.update(
+            _error_fields(
+                type(exc).__name__, str(exc), traceback_module.format_exc()
+            )
+        )
     cache_after = scenario_cache_stats()
     row["compile_cache_hits"] = cache_after["hits"] - cache_before["hits"]
     row["compile_cache_misses"] = cache_after["misses"] - cache_before["misses"]
     row["runtime_s"] = time.perf_counter() - start
     row["worker_pid"] = os.getpid()
+    return row
+
+
+def _quarantine_solo(spec: dict, exc: Exception) -> dict:
+    """Retry one lane-group cell solo, stamping why it left the batched tier.
+
+    The top rung of the degradation ladder: the cell re-enters
+    :func:`run_scenario` (fast engine, then object engine if needed), which
+    also recomputes its compile-cache deltas — the fallback path measures
+    its own cache traffic instead of inheriting half-recorded numbers, so
+    ``meta.compile_cache`` stays accurate.
+    """
+    row = run_scenario(spec)
+    row["lane_fallback"] = {
+        "error_type": type(exc).__name__,
+        "error": str(exc),
+        "traceback": traceback_module.format_exc(),
+    }
     return row
 
 
@@ -400,19 +486,26 @@ def run_lane_group(specs: List[dict]) -> List[dict]:
     memo and the whole chunk is handed to
     :func:`~repro.sim.fast_engine.run_lanes` as one lock-step group — each
     lane bit-identical to the solo run :func:`run_scenario` would have
-    produced.  Any failure while building or running the group falls back to
-    solo :func:`run_scenario` runs, so one poisoned cell cannot take down
-    its group (and its error lands in its own row).  The group's wall time
-    is split evenly across its rows; per-lane attribution inside one batched
-    call has no meaning.
+    produced.
+
+    Failures degrade with per-cell quarantine instead of taking down the
+    group: a cell that fails to *build* (poisoned spec, compile error) is
+    retried solo through :func:`_quarantine_solo` while the healthy lanes
+    still run batched; if the batched *run* itself fails, every lane is
+    quarantined solo.  Either way the triggering exception's type and
+    traceback land in the affected rows' ``lane_fallback`` field (aggregated
+    into ``meta.faults``), and a cell whose solo retry also fails carries
+    its own error row.  The group's wall time is split evenly across its
+    batched rows; per-lane attribution inside one batched call has no
+    meaning.
     """
     start = time.perf_counter()
     rows = [dict(spec) for spec in specs]
-    try:
-        lanes = []
-        graphs = []
-        for row in rows:
-            cache_before = scenario_cache_stats()
+    lanes = []
+    built = []  # (row position, graph) per successfully compiled lane
+    for pos, row in enumerate(rows):
+        cache_before = scenario_cache_stats()
+        try:
             graph = _cached_graph(row["family"], row["graph_seed"])
             machine = _cached_machine(row["machine"])
             policy = POLICY_BUILDERS[row["policy"]](row["policy_seed"])
@@ -424,29 +517,47 @@ def run_lane_group(specs: List[dict]) -> List[dict]:
             scenario = compile_scenario(
                 graph, machine, comm_model, levels=graph.levels()
             )
-            cache_after = scenario_cache_stats()
-            row["compile_cache_hits"] = cache_after["hits"] - cache_before["hits"]
-            row["compile_cache_misses"] = (
-                cache_after["misses"] - cache_before["misses"]
-            )
-            lanes.append((scenario, policy))
-            graphs.append(graph)
-        results = run_lanes(lanes, fidelity=specs[0].get("fidelity", "latency"))
-    except Exception:  # pragma: no cover - defensive
-        return [run_scenario(spec) for spec in specs]
-    per_lane_s = (time.perf_counter() - start) / len(rows)
-    pid = os.getpid()
-    for row, graph, result in zip(rows, graphs, results):
-        row.update(
-            makespan=result.makespan,
-            speedup=result.speedup(),
-            n_tasks=graph.n_tasks,
-            n_packets=result.n_packets,
-            n_fallback_epochs=result.n_fallback_epochs,
-            error=None,
-            runtime_s=per_lane_s,
-            worker_pid=pid,
+        except Exception as exc:
+            rows[pos] = _quarantine_solo(specs[pos], exc)
+            continue
+        cache_after = scenario_cache_stats()
+        row["compile_cache_hits"] = cache_after["hits"] - cache_before["hits"]
+        row["compile_cache_misses"] = (
+            cache_after["misses"] - cache_before["misses"]
         )
+        lanes.append((scenario, policy))
+        built.append((pos, graph))
+    results = []
+    if lanes:
+        try:
+            results = run_lanes(
+                lanes, fidelity=specs[0].get("fidelity", "latency")
+            )
+        except Exception as exc:
+            # The whole batched call failed: quarantine every lane solo.
+            for pos, _graph in built:
+                rows[pos] = _quarantine_solo(specs[pos], exc)
+            built = []
+    if built:
+        per_lane_s = (time.perf_counter() - start) / len(rows)
+        pid = os.getpid()
+        for (pos, graph), result in zip(built, results):
+            rows[pos].update(
+                makespan=result.makespan,
+                speedup=result.speedup(),
+                n_tasks=graph.n_tasks,
+                n_packets=result.n_packets,
+                n_fallback_epochs=result.n_fallback_epochs,
+                error=None,
+                error_type=None,
+                traceback=None,
+                engine_used="batched",
+                engine_fallbacks=[],
+                lane_fallback=None,
+                attempts=1,
+                runtime_s=per_lane_s,
+                worker_pid=pid,
+            )
     return rows
 
 
@@ -457,20 +568,99 @@ def _run_sweep_item(item) -> List[dict]:
     return run_lane_group(item)
 
 
-def parallel_map(fn: Callable[[dict], dict], items: Iterable[dict], jobs: int = 1) -> List[dict]:
-    """Map *fn* over *items*, on a process pool when ``jobs > 1``.
+def _item_specs(item) -> List[dict]:
+    """The scenario specs behind one pool item (solo cell or lane group)."""
+    return [item] if isinstance(item, dict) else list(item)
+
+
+def _item_key(item) -> str:
+    """Stable supervisor key: the spec hash, or the group hash of a lane chunk."""
+    if isinstance(item, dict):
+        return item.get("_key") or spec_key(item)
+    return group_key([spec.get("_key") or spec_key(spec) for spec in item])
+
+
+#: Row fields every worker result must carry for the row to count as valid.
+_ROW_REQUIRED = ("policy", "machine", "family", "makespan", "error")
+
+
+def _validate_rows(item, rows) -> None:
+    """Reject structurally malformed worker results (one row per spec)."""
+    specs = _item_specs(item)
+    if not isinstance(rows, list) or len(rows) != len(specs):
+        raise WorkerError(
+            f"worker returned {type(rows).__name__} instead of "
+            f"{len(specs)} row(s)"
+        )
+    for row in rows:
+        if not isinstance(row, dict):
+            raise WorkerError(f"worker returned a non-dict row: {row!r}")
+        missing = [key for key in _ROW_REQUIRED if key not in row]
+        if missing:
+            raise WorkerError(f"worker row is missing keys {missing}")
+
+
+def _annotate_rows(item, rows, attempt: int, failures: List[dict]) -> List[dict]:
+    """Stamp supervisor provenance (attempt count, prior faults) on each row."""
+    history = [
+        {k: f.get(k) for k in ("kind", "error_type", "error")} for f in failures
+    ]
+    for row in rows:
+        row["attempts"] = attempt
+        row["supervisor_failures"] = history
+    return rows
+
+
+def _failure_rows(item, failures: List[dict]) -> List[dict]:
+    """Terminal error rows for an item whose supervised attempts ran out."""
+    last = failures[-1]
+    rows = []
+    for spec in _item_specs(item):
+        row = dict(spec)
+        row.update(
+            _error_fields(
+                last["error_type"], last["error"], last.get("traceback", "")
+            )
+        )
+        row.update(
+            lane_fallback=None,
+            attempts=len(failures),
+            supervisor_failures=[
+                {k: f.get(k) for k in ("kind", "error_type", "error")}
+                for f in failures
+            ],
+            compile_cache_hits=0,
+            compile_cache_misses=0,
+            runtime_s=0.0,
+            worker_pid=None,
+        )
+        rows.append(row)
+    return rows
+
+
+def parallel_map(
+    fn: Callable[[dict], dict],
+    items: Iterable[dict],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+) -> List[dict]:
+    """Map *fn* over *items* on the supervised worker pool.
 
     Results keep the input order regardless of worker scheduling, so a
-    parallel run is indistinguishable from a serial one.
+    parallel run is indistinguishable from a serial one.  The pool is the
+    supervised one from :mod:`repro.experiments.supervisor` — a hung or
+    crashed worker is killed/respawned and its item re-dispatched — but with
+    supervision features off by default (no timeout, no retries) a failure
+    raises :class:`~repro.exceptions.WorkerError` like the bare ``pool.map``
+    used to propagate exceptions.
     """
-    items = list(items)
-    if jobs <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    methods = mp.get_all_start_methods()
-    ctx = mp.get_context("fork" if "fork" in methods else "spawn")
-    chunksize = max(1, len(items) // (4 * jobs))
-    with ctx.Pool(processes=jobs) as pool:
-        return pool.map(fn, items, chunksize=chunksize)
+    results, _stats = supervised_map(
+        fn,
+        list(items),
+        SupervisorConfig(jobs=jobs, timeout=timeout, retries=retries),
+    )
+    return results
 
 
 # --------------------------------------------------------------------------- #
@@ -507,6 +697,34 @@ def _aggregate(rows: List[dict]) -> List[dict]:
     return aggregates
 
 
+def _fault_taxonomy(rows: List[dict]) -> dict:
+    """Aggregate the structured error taxonomy across result rows."""
+    errors = Counter(
+        r["error_type"] for r in rows if r.get("error_type") is not None
+    )
+    lane_fallbacks = Counter(
+        r["lane_fallback"]["error_type"]
+        for r in rows
+        if r.get("lane_fallback") is not None
+    )
+    engine_fallbacks = Counter(
+        fb["error_type"] for r in rows for fb in (r.get("engine_fallbacks") or [])
+    )
+    return {
+        "errors": dict(sorted(errors.items())),
+        "lane_fallbacks": dict(sorted(lane_fallbacks.items())),
+        "engine_fallbacks": dict(sorted(engine_fallbacks.items())),
+        "n_retried_rows": sum(1 for r in rows if (r.get("attempts") or 1) > 1),
+    }
+
+
+def _grid_fingerprint(grid: List[dict]) -> dict:
+    """A content fingerprint of the whole grid, for the checkpoint header."""
+    keys = sorted(spec["_key"] for spec in grid)
+    digest = hashlib.sha256(",".join(keys).encode("utf-8")).hexdigest()[:16]
+    return {"n_cells": len(grid), "grid_sha": digest}
+
+
 def run_sweep(
     policies: Sequence[str] = ("HLF", "ETF", "SA"),
     machines: Sequence[str] = ("hypercube8", "ring9"),
@@ -520,6 +738,13 @@ def run_sweep(
     fast: Optional[bool] = None,
     replicas: Optional[int] = None,
     lanes: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    maxtasksperchild: Optional[int] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    chaos: Optional[ChaosConfig] = None,
+    supervisor_seed: int = 0,
 ) -> dict:
     """Run the whole scenario grid and return (optionally write) the report.
 
@@ -542,15 +767,36 @@ def run_sweep(
     work is scheduled, never the numbers — every lane is bit-identical to
     its solo run.
 
+    Execution is supervised (:mod:`repro.experiments.supervisor`): *timeout*
+    arms a per-item wall-clock budget (a hung worker is killed and its item
+    re-dispatched), *retries* bounds re-attempts with exponential backoff and
+    deterministic jitter, *maxtasksperchild* recycles leaky workers, and
+    *chaos* injects seeded faults (tests/CI).  *checkpoint* journals every
+    completed row to an append-only JSONL file keyed by spec hash;
+    ``resume=True`` restores finished cells from that journal and re-executes
+    only the rest — producing rows and aggregates identical to an
+    uninterrupted run.
+
     ``meta`` also surfaces how the work was produced: the total
     compiled-scenario cache hits/misses aggregated across worker processes
     (``meta.compile_cache``, with the distinct worker count), the total
     fast-engine fallback epochs (0 when every policy ran through an
-    index-space kernel) and the lane/batch configuration including per-lane
-    fallback counts (``meta.lanes``).
+    index-space kernel), the lane/batch configuration including per-lane
+    fallback counts (``meta.lanes``), the supervisor's runtime counters
+    (``meta.supervisor``: attempts, retries, timeouts, worker deaths,
+    respawns, recycles), the checkpoint/restore summary (``meta.resume``)
+    and the structured fault taxonomy (``meta.faults``: terminal errors,
+    lane quarantines and engine degradations counted by exception type).
     """
     if lanes < 1:
         raise ValueError(f"lanes must be >= 1, got {lanes}")
+    if chaos is not None and "hang" in chaos.kinds and timeout is None:
+        raise ConfigurationError(
+            "chaos 'hang' faults require a timeout (the supervisor can only "
+            "recover a hung worker by killing it at the deadline)"
+        )
+    if resume and not checkpoint:
+        raise ConfigurationError("resume=True requires a checkpoint path")
     grid = build_grid(
         policies=policies,
         machines=machines,
@@ -562,40 +808,93 @@ def run_sweep(
         fast=fast,
         replicas=replicas,
     )
+    for index, spec in enumerate(grid):
+        spec["_key"] = spec_key(spec)
+        spec["_index"] = index
+    index_by_key: Dict[str, List[int]] = {}
+    for spec in grid:
+        index_by_key.setdefault(spec["_key"], []).append(spec["_index"])
+
+    ckpt: Optional[Checkpoint] = None
+    restored_rows: Dict[str, dict] = {}
+    if checkpoint:
+        ckpt = Checkpoint.open(checkpoint, _grid_fingerprint(grid), resume=resume)
+        restored_rows = {
+            key: row for key, row in ckpt.restored.items() if key in index_by_key
+        }
+    remaining = [spec for spec in grid if spec["_key"] not in restored_rows]
+
     # Auto-cap at the cell count; only fast-engine-eligible cells (no SA
     # replica fan-out, engine not pinned to the object path) ride lanes.
     effective_lanes = max(1, min(lanes, len(grid)))
-    for index, spec in enumerate(grid):
-        spec["_index"] = index
     lane_indices: List[int] = []
     if effective_lanes > 1 and fast is not False:
         lane_indices = [
-            i for i, spec in enumerate(grid) if spec["replicas"] is None
+            spec["_index"] for spec in remaining if spec["replicas"] is None
         ]
     items: List[object]
+    spec_by_index = {spec["_index"]: spec for spec in remaining}
     if lane_indices:
-        solo = set(range(len(grid))) - set(lane_indices)
+        solo = set(spec_by_index) - set(lane_indices)
         items = [
-            [grid[i] for i in lane_indices[k : k + effective_lanes]]
+            [spec_by_index[i] for i in lane_indices[k : k + effective_lanes]]
             for k in range(0, len(lane_indices), effective_lanes)
         ]
-        items.extend(grid[i] for i in sorted(solo))
+        items.extend(spec_by_index[i] for i in sorted(solo))
     else:
         effective_lanes = 1
-        items = list(grid)
+        items = list(remaining)
     n_groups = sum(1 for item in items if isinstance(item, list))
+
+    def _journal(item, rows: List[dict]) -> None:
+        if ckpt is None:
+            return
+        for row in rows:
+            if row.get("error") is None:
+                ckpt.record(
+                    row["_key"],
+                    {k: v for k, v in row.items() if not k.startswith("_")},
+                )
+
+    sup_config = SupervisorConfig(
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        maxtasksperchild=maxtasksperchild,
+        chaos=chaos,
+        seed=supervisor_seed,
+    )
     wall_start = time.perf_counter()
-    rows = [
-        row for chunk in parallel_map(_run_sweep_item, items, jobs=jobs)
-        for row in chunk
-    ]
+    try:
+        chunks, sup_stats = supervised_map(
+            _run_sweep_item,
+            items,
+            sup_config,
+            item_key=_item_key,
+            validate=_validate_rows,
+            annotate=_annotate_rows,
+            on_failure=_failure_rows,
+            on_result=_journal,
+        )
+    finally:
+        if ckpt is not None:
+            ckpt.close()
     wall = time.perf_counter() - wall_start
+    rows = [row for chunk in chunks for row in chunk]
+    # Splice journal-restored rows back in at their grid positions.
+    consumed: Dict[str, int] = Counter()
+    for key, stored in restored_rows.items():
+        row = dict(stored)
+        row["_index"] = index_by_key[key][consumed[key]]
+        consumed[key] += 1
+        rows.append(row)
     rows.sort(key=lambda r: r["_index"])
     per_lane_fallback = [
         int(rows[i].get("n_fallback_epochs") or 0) for i in lane_indices
     ]
     for row in rows:
-        del row["_index"]
+        row.pop("_index", None)
+        row.pop("_key", None)
     report = {
         "meta": {
             "n_simulations": len(rows),
@@ -633,6 +932,30 @@ def run_sweep(
                 "n_lane_rows": len(lane_indices),
                 "per_lane_fallback_epochs": per_lane_fallback,
             },
+            "supervisor": {
+                "timeout": timeout,
+                "retries": retries,
+                "maxtasksperchild": maxtasksperchild,
+                "seed": supervisor_seed,
+                "chaos": (
+                    None
+                    if chaos is None
+                    else {
+                        "rate": chaos.rate,
+                        "kinds": list(chaos.kinds),
+                        "seed": chaos.seed,
+                        "hang_s": chaos.hang_s,
+                    }
+                ),
+                "stats": sup_stats,
+            },
+            "resume": {
+                "checkpoint": checkpoint,
+                "resumed": bool(resume),
+                "n_restored": len(restored_rows),
+                "n_executed": len(rows) - len(restored_rows),
+            },
+            "faults": _fault_taxonomy(rows),
         },
         "results": rows,
         "aggregates": _aggregate(rows),
@@ -646,6 +969,40 @@ def run_sweep(
         with open(out, "w") as fh:
             json.dump(report, fh, indent=1)
     return report
+
+
+#: The science fields of a result row: what the cell *is* plus what the
+#: simulation *measured* — everything that must be bit-identical across
+#: engines, lane configurations, worker counts, chaos injection, and
+#: checkpoint/resume.  Excludes provenance that legitimately varies
+#: (timings, pids, attempt counts, cache deltas, degradation records).
+SCIENCE_FIELDS = (
+    "policy", "machine", "family", "graph_seed", "policy_seed", "with_comm",
+    "fidelity", "fast", "replicas", "error",
+    "makespan", "speedup", "n_tasks", "n_packets",
+)
+
+
+def comparable_rows(report: dict) -> List[dict]:
+    """The report's rows reduced to :data:`SCIENCE_FIELDS`.
+
+    The differential contract of the fault-tolerance layer: a chaotic,
+    resumed, or degraded sweep must produce *exactly* these rows — the CI
+    chaos job and the chaos differential tests compare reports through this
+    projection.
+    """
+    return [
+        {key: row.get(key) for key in SCIENCE_FIELDS}
+        for row in report["results"]
+    ]
+
+
+def comparable_aggregates(report: dict) -> List[dict]:
+    """The report's aggregates minus wall-clock totals (which always vary)."""
+    return [
+        {k: v for k, v in aggregate.items() if k != "total_runtime_s"}
+        for aggregate in report["aggregates"]
+    ]
 
 
 def format_sweep_report(report: dict) -> str:
@@ -750,6 +1107,68 @@ def main(argv: Optional[List[str]] = None) -> int:
             "scenarios); results are bit-identical either way"
         ),
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help=(
+            "per-cell (or per lane-group) wall-clock budget in seconds; a "
+            "worker that exceeds it is killed and its item re-dispatched "
+            "(default: no timeout)"
+        ),
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help=(
+            "additional supervised attempts per item after the first, with "
+            "exponential backoff + deterministic jitter (default 2; "
+            "0 disables retry)"
+        ),
+    )
+    parser.add_argument(
+        "--maxtasksperchild", type=int, default=None,
+        help=(
+            "recycle each worker process after this many items so leaky "
+            "workers cannot grow without bound (default: never)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint", default=None,
+        help=(
+            "journal every completed row to this append-only JSONL file "
+            "(keyed by spec hash) as the sweep runs"
+        ),
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "restore finished cells from the --checkpoint journal and "
+            "re-execute only the rest (derives <out>.checkpoint.jsonl when "
+            "--checkpoint is omitted); rows and aggregates are identical to "
+            "an uninterrupted run"
+        ),
+    )
+    parser.add_argument(
+        "--chaos", type=float, default=0.0, metavar="RATE",
+        help=(
+            "inject seeded faults into this fraction of (item, attempt) "
+            "pairs to exercise the supervision ladder (default 0 = off)"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-kinds", nargs="*", default=list(FAULT_KINDS),
+        choices=list(FAULT_KINDS),
+        help=f"fault kinds to inject (default: all of {list(FAULT_KINDS)})",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the deterministic fault decisions (default 0)",
+    )
+    parser.add_argument(
+        "--chaos-hang", type=float, default=60.0,
+        help=(
+            "how long an injected hang sleeps (default 60s; must exceed "
+            "--timeout for the hang to be killed rather than waited out)"
+        ),
+    )
     parser.add_argument("--out", default="sweep_report.json", help="JSON report path")
     args = parser.parse_args(argv)
 
@@ -758,6 +1177,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--replicas must be >= 1, got {args.replicas}")
     if args.lanes < 1:
         parser.error(f"--lanes must be >= 1, got {args.lanes}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error(f"--timeout must be > 0, got {args.timeout}")
+    if not 0.0 <= args.chaos <= 1.0:
+        parser.error(f"--chaos must be in [0, 1], got {args.chaos}")
+    chaos = None
+    if args.chaos > 0.0:
+        if "hang" in args.chaos_kinds and args.timeout is None:
+            parser.error(
+                "--chaos with 'hang' faults requires --timeout (drop hang "
+                "from --chaos-kinds or set a timeout)"
+            )
+        chaos = ChaosConfig(
+            rate=args.chaos,
+            kinds=tuple(args.chaos_kinds),
+            seed=args.chaos_seed,
+            hang_s=args.chaos_hang,
+        )
+    checkpoint = args.checkpoint
+    if args.resume and checkpoint is None:
+        checkpoint = f"{args.out}.checkpoint.jsonl"
     if args.hetero and args.machines is not None:
         parser.error("--hetero selects the heterogeneous machine grid; drop --machines "
                      "or name hetero-* machines explicitly without --hetero")
@@ -782,6 +1223,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         fast={"auto": None, "fast": True, "object": False}[args.engine],
         replicas=args.replicas,
         lanes=args.lanes,
+        timeout=args.timeout,
+        retries=args.retries,
+        maxtasksperchild=args.maxtasksperchild,
+        checkpoint=checkpoint,
+        resume=args.resume,
+        chaos=chaos,
+        supervisor_seed=args.chaos_seed,
     )
     print(format_sweep_report(report))
     print(f"report written to {args.out}")

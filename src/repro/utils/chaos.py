@@ -1,0 +1,156 @@
+"""Deterministic fault injection for supervised sweep workers.
+
+The supervisor (:mod:`repro.experiments.supervisor`) proves its fault
+tolerance against *reproducible* chaos: every fault decision is a pure
+function of ``(seed, cell key, attempt)``, so a chaotic run injects the same
+crashes, hangs, worker deaths and malformed results no matter how many
+workers run it, in what order cells are dispatched, or how often the run is
+repeated.  That determinism is what makes the differential contract testable:
+with injection on, the sweep must still produce rows bit-identical (on the
+science fields) to a fault-free run.
+
+Four fault kinds cover the worker failure modes the supervisor defends
+against:
+
+``raise``
+    The worker raises :class:`~repro.exceptions.ChaosError` (a transient
+    in-process failure; retried with backoff).
+``hang``
+    The worker sleeps for ``hang_s`` seconds — long enough to trip the
+    supervisor's per-cell timeout, which kills and respawns the worker.  If
+    no timeout is armed the sleep eventually ends and the worker raises, so
+    a hang can never silently succeed.
+``die``
+    The worker exits abruptly via ``os._exit(exit_code)`` (no cleanup, no
+    exception propagation — the same signature as a segfault), exercising
+    worker-death detection and re-dispatch.
+``malform``
+    The worker returns a nonsense payload instead of result rows,
+    exercising the supervisor's result validation.
+
+Decisions are derived from SHA-256, not :mod:`random`, so they are stable
+across processes, platforms and Python versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import ChaosError, ConfigurationError
+
+__all__ = [
+    "FAULT_KINDS",
+    "MALFORMED_PAYLOAD",
+    "ChaosConfig",
+    "det_uniform",
+]
+
+#: Every fault kind the harness can inject, in canonical order.
+FAULT_KINDS: Tuple[str, ...] = ("raise", "hang", "die", "malform")
+
+#: The payload a ``malform`` fault substitutes for the worker's real result.
+#: Deliberately *not* a list of row dicts, so any structural validation of
+#: the result must reject it.
+MALFORMED_PAYLOAD = {"chaos": "malformed", "rows": None}
+
+
+def det_uniform(seed: int, *parts: object) -> float:
+    """A deterministic uniform draw in ``[0, 1)`` keyed by ``(seed, *parts)``.
+
+    Hash-derived (SHA-256 over the repr of the key tuple), so the same key
+    yields the same draw in every process and on every platform; distinct
+    keys are independent for any statistical purpose the harness has.
+    """
+    blob = repr((int(seed),) + tuple(parts)).encode("utf-8")
+    digest = hashlib.sha256(blob).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Seeded fault-injection plan applied around every supervised cell.
+
+    Parameters
+    ----------
+    rate:
+        Probability in ``[0, 1]`` that a given ``(cell, attempt)`` faults.
+    kinds:
+        Fault kinds to draw from (subset of :data:`FAULT_KINDS`); the kind
+        of a faulting cell is itself a deterministic draw.
+    seed:
+        Decision seed; two configs with the same seed/rate/kinds inject
+        identical faults.
+    hang_s:
+        How long a ``hang`` fault sleeps.  Must exceed the supervisor
+        timeout for the hang to be killed rather than merely delayed.
+    exit_code:
+        Exit status of a ``die`` fault (default 139, the shell's signature
+        for a SIGSEGV death).
+    """
+
+    rate: float
+    kinds: Tuple[str, ...] = FAULT_KINDS
+    seed: int = 0
+    hang_s: float = 3600.0
+    exit_code: int = 139
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigurationError(f"chaos rate must be in [0, 1], got {self.rate}")
+        kinds = tuple(self.kinds)
+        if not kinds:
+            raise ConfigurationError("chaos kinds must not be empty")
+        for kind in kinds:
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown chaos kind {kind!r}; known: {list(FAULT_KINDS)}"
+                )
+        object.__setattr__(self, "kinds", kinds)
+        if self.hang_s <= 0:
+            raise ConfigurationError(f"hang_s must be > 0, got {self.hang_s}")
+
+    # ------------------------------------------------------------------ #
+    def decide(self, key: str, attempt: int) -> Optional[str]:
+        """The fault kind injected for ``(key, attempt)``, or ``None``.
+
+        Pure: the decision depends only on the config and the arguments, so
+        every worker (and every rerun) agrees on where faults land.
+        """
+        if det_uniform(self.seed, "fault", key, attempt) >= self.rate:
+            return None
+        pick = det_uniform(self.seed, "kind", key, attempt)
+        return self.kinds[min(int(pick * len(self.kinds)), len(self.kinds) - 1)]
+
+    def inject(self, key: str, attempt: int):
+        """Carry out the fault decided for ``(key, attempt)``, if any.
+
+        Returns ``None`` when the cell is healthy, or
+        :data:`MALFORMED_PAYLOAD` when the worker should substitute garbage
+        for its real result.  ``raise`` faults raise :class:`ChaosError`,
+        ``hang`` faults sleep (then raise, so an un-killed hang still reads
+        as a failure), and ``die`` faults never return.
+        """
+        kind = self.decide(key, attempt)
+        if kind is None:
+            return None
+        if kind == "malform":
+            return MALFORMED_PAYLOAD
+        if kind == "raise":
+            raise ChaosError(f"injected fault for cell {key} (attempt {attempt})")
+        if kind == "hang":
+            time.sleep(self.hang_s)
+            raise ChaosError(
+                f"injected hang for cell {key} (attempt {attempt}) outlived "
+                f"{self.hang_s}s without being killed"
+            )
+        # kind == "die": an abrupt, cleanup-free exit, like a segfault.
+        os._exit(self.exit_code)
+
+    def plan(self, keys: Sequence[str], attempt: int = 1) -> dict:
+        """Map each key to its injected fault kind at *attempt* (diagnostics)."""
+        decisions = {key: self.decide(key, attempt) for key in keys}
+        return {key: kind for key, kind in decisions.items() if kind is not None}

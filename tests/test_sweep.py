@@ -6,20 +6,42 @@ import json
 
 import pytest
 
+from repro.exceptions import ConfigurationError, WorkerError
 from repro.experiments.sweep import (
     GRAPH_FAMILIES,
     HETERO_MACHINES,
     MACHINE_BUILDERS,
     POLICY_BUILDERS,
     build_grid,
+    comparable_aggregates,
+    comparable_rows,
     format_sweep_report,
     hetero_machine,
     main,
     parallel_map,
+    run_lane_group,
     run_scenario,
     run_sweep,
     speed_ramp,
 )
+from repro.utils.chaos import FAULT_KINDS, ChaosConfig
+
+
+def _poison_family(seed):
+    """A graph family whose builder always fails (poisoned-spec tests)."""
+    raise ValueError(f"poisoned family for seed {seed}")
+
+
+def _spec(seed, family="layered", policy="HLF"):
+    return {
+        "policy": policy,
+        "machine": "hypercube8",
+        "family": family,
+        "graph_seed": seed,
+        "policy_seed": seed,
+        "with_comm": True,
+        "fidelity": "latency",
+    }
 
 
 class TestGrid:
@@ -207,6 +229,7 @@ class TestLanes:
         same test sees different hit/miss counts)."""
         varying = (
             "runtime_s", "worker_pid", "compile_cache_hits", "compile_cache_misses",
+            "engine_used", "attempts", "supervisor_failures",
         )
         return [
             {k: v for k, v in row.items() if k not in varying} for row in rows
@@ -329,6 +352,264 @@ class TestHeteroScenarios:
         row = run_scenario(spec)
         assert row["error"] is None
         assert row["makespan"] > 0
+
+
+class TestFailureTaxonomy:
+    """Satellite coverage: poisoned specs, worker exceptions, the engine
+    degradation ladder, and lane-group fallback parity."""
+
+    def test_poisoned_spec_produces_structured_error_row(self, monkeypatch):
+        monkeypatch.setitem(GRAPH_FAMILIES, "poison", _poison_family)
+        row = run_scenario(_spec(0, family="poison"))
+        assert row["makespan"] is None
+        assert row["error"] == "ValueError: poisoned family for seed 0"
+        assert row["error_type"] == "ValueError"
+        assert "poisoned family" in row["traceback"]
+        assert row["engine_used"] is None
+
+    def test_sweep_carries_error_rows_and_fault_taxonomy(self, monkeypatch):
+        monkeypatch.setitem(GRAPH_FAMILIES, "poison", _poison_family)
+        report = run_sweep(
+            jobs=1, policies=("HLF",), machines=("hypercube8",),
+            families=("layered", "poison"), n_seeds=2, retries=0,
+        )
+        assert report["meta"]["n_simulations"] == 4
+        assert report["meta"]["n_failed"] == 2
+        assert report["meta"]["faults"]["errors"] == {"ValueError": 2}
+        for row in report["results"]:
+            if row["family"] == "poison":
+                assert row["error_type"] == "ValueError" and row["traceback"]
+            else:
+                assert row["error"] is None and row["error_type"] is None
+        healthy = [a for a in report["aggregates"] if a["family"] == "layered"]
+        assert healthy[0]["n_failed"] == 0 and healthy[0]["mean_speedup"] > 0
+
+    def test_fast_engine_failure_degrades_to_object(self, monkeypatch):
+        import repro.sim.engine as engine_mod
+
+        expected = run_scenario(_spec(1))
+        assert expected["engine_used"] == "fast"
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("fast engine exploded")
+
+        monkeypatch.setattr(engine_mod, "run_compiled", boom)
+        row = run_scenario(_spec(1))
+        assert row["error"] is None
+        assert row["engine_used"] == "object"
+        assert len(row["engine_fallbacks"]) == 1
+        fallback = row["engine_fallbacks"][0]
+        assert fallback["from"] == "fast" and fallback["to"] == "object"
+        assert fallback["error_type"] == "RuntimeError"
+        assert "fast engine exploded" in fallback["traceback"]
+        # The ladder never changes the numbers: both engines are bit-identical.
+        assert row["makespan"] == expected["makespan"]
+        assert row["speedup"] == expected["speedup"]
+
+    def test_lane_group_quarantines_poisoned_cell(self, monkeypatch):
+        monkeypatch.setitem(GRAPH_FAMILIES, "poison", _poison_family)
+        specs = [_spec(0), _spec(1, family="poison"), _spec(2)]
+        rows = run_lane_group([dict(s) for s in specs])
+        # Healthy lanes still ran batched, unaffected by the poisoned cell.
+        for pos in (0, 2):
+            assert rows[pos]["error"] is None
+            assert rows[pos]["engine_used"] == "batched"
+            assert rows[pos]["lane_fallback"] is None
+            solo = run_scenario(dict(specs[pos]))
+            assert rows[pos]["makespan"] == solo["makespan"]
+        # The poisoned cell carries its own error row plus the reason it
+        # left the batched tier.
+        bad = rows[1]
+        assert bad["error_type"] == "ValueError"
+        assert bad["lane_fallback"]["error_type"] == "ValueError"
+        assert "poisoned family" in bad["lane_fallback"]["error"]
+
+    def test_lane_group_run_failure_quarantines_every_lane(self, monkeypatch):
+        specs = [_spec(0), _spec(1)]
+        solo_rows = [run_scenario(dict(s)) for s in specs]
+
+        def boom(lanes, fidelity):
+            raise RuntimeError("batched engine blew up")
+
+        monkeypatch.setattr("repro.experiments.sweep.run_lanes", boom)
+        rows = run_lane_group([dict(s) for s in specs])
+        for solo, row in zip(solo_rows, rows):
+            assert row["error"] is None
+            assert row["lane_fallback"]["error_type"] == "RuntimeError"
+            assert row["engine_used"] == "fast"
+            assert row["makespan"] == solo["makespan"]
+            # The solo fallback re-measures its own compile-cache traffic
+            # (so meta.compile_cache stays accurate).
+            assert row["compile_cache_hits"] + row["compile_cache_misses"] >= 1
+
+    def test_lane_fallbacks_surface_in_sweep_meta(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.experiments.sweep.run_lanes",
+            lambda lanes, fidelity: (_ for _ in ()).throw(RuntimeError("nope")),
+        )
+        report = run_sweep(
+            jobs=1, lanes=4, policies=("HLF", "ETF"), machines=("hypercube8",),
+            families=("layered",), n_seeds=2, retries=0,
+        )
+        assert report["meta"]["n_failed"] == 0
+        assert report["meta"]["faults"]["lane_fallbacks"] == {"RuntimeError": 4}
+
+    def test_parallel_map_raises_worker_error_on_failure(self):
+        def boom(item):
+            raise ValueError("exploding worker")
+
+        with pytest.raises(WorkerError, match="ValueError: exploding worker"):
+            parallel_map(boom, [{"x": 1}], jobs=1)
+        try:
+            parallel_map(boom, [{"x": 1}], jobs=1)
+        except WorkerError as exc:
+            assert exc.error_type == "ValueError"
+            assert "exploding worker" in exc.traceback
+
+
+class TestChaosDifferential:
+    """The acceptance contract: with seeded faults injected, the sweep must
+    complete with science rows bit-identical to a fault-free run."""
+
+    _kwargs = dict(
+        policies=("HLF", "ETF"),
+        machines=("hypercube8",),
+        families=("layered",),
+        n_seeds=8,
+    )
+
+    def test_chaotic_sweep_is_bit_identical_to_clean(self):
+        clean = run_sweep(jobs=1, **self._kwargs)
+        # Seed 3 provably injects faults on this grid: retries, a timeout
+        # kill, and a worker death all fire (asserted below), exercising
+        # every recovery path at --jobs 4 --lanes 8.
+        chaos = ChaosConfig(rate=0.35, seed=3, hang_s=20.0)
+        chaotic = run_sweep(
+            jobs=4, lanes=8, timeout=2.0, retries=8,
+            chaos=chaos, supervisor_seed=3, **self._kwargs,
+        )
+        stats = chaotic["meta"]["supervisor"]["stats"]
+        assert stats["retries"] + stats["timeouts"] + stats["worker_deaths"] > 0
+        assert chaotic["meta"]["n_failed"] == 0
+        assert comparable_rows(chaotic) == comparable_rows(clean)
+        assert comparable_aggregates(chaotic) == comparable_aggregates(clean)
+        assert chaotic["meta"]["supervisor"]["chaos"] == {
+            "rate": 0.35, "kinds": list(FAULT_KINDS), "seed": 3, "hang_s": 20.0,
+        }
+
+    def test_chaos_hang_faults_require_a_timeout(self):
+        with pytest.raises(ConfigurationError, match="hang"):
+            run_sweep(jobs=1, chaos=ChaosConfig(rate=0.1), **self._kwargs)
+
+
+class TestCheckpointResume:
+    _kwargs = dict(
+        policies=("HLF", "ETF"),
+        machines=("hypercube8",),
+        families=("layered",),
+        n_seeds=4,
+    )
+
+    def test_checkpoint_journals_every_completed_row(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        report = run_sweep(jobs=1, checkpoint=str(path), **self._kwargs)
+        entries = [json.loads(line) for line in path.read_text().splitlines()]
+        assert entries[0]["kind"] == "header"
+        rows = [e for e in entries if e["kind"] == "row"]
+        assert len(rows) == report["meta"]["n_simulations"]
+
+    def test_kill_and_resume_reproduces_identical_report(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        full = run_sweep(jobs=1, **self._kwargs)
+        run_sweep(jobs=1, checkpoint=str(path), **self._kwargs)
+        # Simulate a kill mid-run: keep the header + the first 3 completed
+        # rows, plus a partial trailing line from the interrupted write.
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:4]) + "\n" + lines[4][:25])
+        resumed = run_sweep(
+            jobs=2, lanes=4, checkpoint=str(path), resume=True, **self._kwargs
+        )
+        meta = resumed["meta"]["resume"]
+        assert meta["resumed"] is True
+        assert meta["n_restored"] == 3
+        assert meta["n_executed"] == resumed["meta"]["n_simulations"] - 3
+        assert comparable_rows(resumed) == comparable_rows(full)
+        assert comparable_aggregates(resumed) == comparable_aggregates(full)
+        # The journal is complete again after the resumed run.
+        entries = [json.loads(line) for line in path.read_text().splitlines()]
+        assert sum(1 for e in entries if e["kind"] == "row") >= len(
+            resumed["results"]
+        )
+
+    def test_resume_requires_a_checkpoint_path(self):
+        with pytest.raises(ConfigurationError, match="checkpoint"):
+            run_sweep(jobs=1, resume=True, **self._kwargs)
+
+    def test_resume_refuses_a_checkpoint_from_another_grid(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        run_sweep(jobs=1, checkpoint=str(path), **self._kwargs)
+        with pytest.raises(ConfigurationError, match="different sweep"):
+            run_sweep(
+                jobs=1, checkpoint=str(path), resume=True,
+                **dict(self._kwargs, n_seeds=2),
+            )
+
+
+class TestSupervisionCli:
+    _base = [
+        "--seeds", "4", "--policies", "HLF",
+        "--machines", "hypercube8", "--families", "layered",
+    ]
+
+    def test_chaos_with_hang_requires_timeout(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self._base + ["--chaos", "0.2"])  # default kinds include hang
+
+    def test_flag_validation(self, capsys):
+        with pytest.raises(SystemExit):
+            main(self._base + ["--chaos", "1.5"])
+        with pytest.raises(SystemExit):
+            main(self._base + ["--retries", "-1"])
+        with pytest.raises(SystemExit):
+            main(self._base + ["--timeout", "0"])
+
+    def test_chaos_cli_run_matches_clean_run(self, tmp_path, capsys):
+        clean_out = tmp_path / "clean.json"
+        assert main(self._base + ["--jobs", "1", "--out", str(clean_out)]) == 0
+        chaos_out = tmp_path / "chaos.json"
+        assert main(self._base + [
+            "--jobs", "2", "--retries", "8",
+            "--chaos", "0.4", "--chaos-kinds", "raise", "malform",
+            "--chaos-seed", "3", "--maxtasksperchild", "4",
+            "--out", str(chaos_out),
+        ]) == 0
+        clean = json.loads(clean_out.read_text())
+        chaotic = json.loads(chaos_out.read_text())
+        supervisor = chaotic["meta"]["supervisor"]
+        assert supervisor["chaos"]["rate"] == 0.4
+        assert supervisor["chaos"]["kinds"] == ["raise", "malform"]
+        assert supervisor["maxtasksperchild"] == 4
+        assert chaotic["meta"]["n_failed"] == 0
+        assert comparable_rows(chaotic) == comparable_rows(clean)
+        assert comparable_aggregates(chaotic) == comparable_aggregates(clean)
+
+    def test_resume_cli_restores_all_finished_cells(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt.jsonl"
+        first_out = tmp_path / "first.json"
+        assert main(self._base + [
+            "--checkpoint", str(ckpt), "--out", str(first_out),
+        ]) == 0
+        second_out = tmp_path / "second.json"
+        assert main(self._base + [
+            "--checkpoint", str(ckpt), "--resume", "--out", str(second_out),
+        ]) == 0
+        first = json.loads(first_out.read_text())
+        second = json.loads(second_out.read_text())
+        meta = second["meta"]["resume"]
+        assert meta["resumed"] is True
+        assert meta["n_restored"] == second["meta"]["n_simulations"]
+        assert meta["n_executed"] == 0
+        assert comparable_rows(second) == comparable_rows(first)
 
 
 class TestCli:
