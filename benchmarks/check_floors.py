@@ -62,6 +62,9 @@ FLOOR_CHECKS = {
     "BENCH_supervisor.json": [
         ("supervised_throughput_ratio", "min_ratio_asserted"),
     ],
+    "BENCH_service.json": [
+        ("service_speedup", "min_speedup_asserted"),
+    ],
 }
 
 

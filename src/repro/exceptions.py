@@ -17,6 +17,7 @@ __all__ = [
     "SchedulingError",
     "SimulationError",
     "ConfigurationError",
+    "ProtocolError",
     "WorkerError",
     "CellTimeoutError",
     "EngineFallbackError",
@@ -58,6 +59,19 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid configuration values (SA parameters, weights, ...)."""
+
+
+class ProtocolError(ReproError):
+    """Raised for malformed scheduling-service requests.
+
+    Covers wire-level violations of the job protocol
+    (:mod:`repro.service.protocol`): lines that are not JSON objects,
+    unknown operations, missing or ill-typed job fields, and payloads
+    exceeding the server's size limits.  Domain errors inside an
+    otherwise well-formed job (unknown policy, invalid machine payload)
+    keep their own taxonomy (:class:`ConfigurationError`,
+    :class:`MachineError`, ...).
+    """
 
 
 class WorkerError(ReproError):

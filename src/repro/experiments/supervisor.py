@@ -53,6 +53,8 @@ from repro.utils.chaos import MALFORMED_PAYLOAD, ChaosConfig, det_uniform
 __all__ = [
     "SupervisorConfig",
     "Checkpoint",
+    "PoolTask",
+    "PoolWorker",
     "supervised_map",
     "spec_key",
     "group_key",
@@ -269,7 +271,14 @@ class Checkpoint:
 # --------------------------------------------------------------------------- #
 
 @dataclass
-class _Task:
+class PoolTask:
+    """One unit of supervised work: a payload item plus its retry state.
+
+    Shared between :func:`supervised_map`'s batch pool and the scheduling
+    service's persistent pool (:mod:`repro.service.server`), which reuses
+    the same worker processes and dispatch wire format.
+    """
+
     index: int
     key: str
     item: object
@@ -278,8 +287,17 @@ class _Task:
     failures: List[dict] = field(default_factory=list)
 
 
-class _Worker:
-    """One supervised worker process and its duplex pipe."""
+class PoolWorker:
+    """One supervised worker process and its duplex pipe.
+
+    The worker body (:func:`_worker_loop`) receives ``(index, attempt, key,
+    item)`` tuples, runs ``fn(item)`` (through chaos injection when armed)
+    and replies ``(index, attempt, ok, payload, error_tuple)``; EOF on the
+    pipe means the process exited (recycle or death).  Besides
+    :func:`supervised_map`, the long-lived scheduling service keeps these
+    workers **persistent** across requests so per-process caches stay hot;
+    ``conn.fileno()`` integrates with selector event loops.
+    """
 
     def __init__(self, ctx, fn, config: SupervisorConfig):
         parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -291,11 +309,11 @@ class _Worker:
         self.proc.start()
         child_conn.close()
         self.conn = parent_conn
-        self.current: Optional[_Task] = None
+        self.current: Optional[PoolTask] = None
         self.deadline: Optional[float] = None
         self.tasks_done = 0
 
-    def dispatch(self, task: _Task, timeout: Optional[float]) -> None:
+    def dispatch(self, task: PoolTask, timeout: Optional[float]) -> None:
         self.conn.send((task.index, task.attempt, task.key, task.item))
         self.current = task
         self.deadline = (
@@ -501,12 +519,12 @@ def supervised_map(
     results = [None] * n
     done = [False] * n
     n_done = 0
-    pending: List[_Task] = [
-        _Task(index=i, key=key_fn(item), item=item) for i, item in enumerate(items)
+    pending: List[PoolTask] = [
+        PoolTask(index=i, key=key_fn(item), item=item) for i, item in enumerate(items)
     ]
     pending.reverse()  # pop() from the tail keeps input order
 
-    def _pop_ready(now: float) -> Optional[_Task]:
+    def _pop_ready(now: float) -> Optional[PoolTask]:
         best = None
         for i in range(len(pending) - 1, -1, -1):
             task = pending[i]
@@ -517,13 +535,13 @@ def supervised_map(
             return None
         return pending.pop(best)
 
-    workers: List[_Worker] = [_Worker(ctx, fn, config) for _ in range(jobs)]
+    workers: List[PoolWorker] = [PoolWorker(ctx, fn, config) for _ in range(jobs)]
 
     def _respawn(slot: int) -> None:
         stats["respawns"] += 1
-        workers[slot] = _Worker(ctx, fn, config)
+        workers[slot] = PoolWorker(ctx, fn, config)
 
-    def _complete(task: _Task, payload: object, journal: bool) -> None:
+    def _complete(task: PoolTask, payload: object, journal: bool) -> None:
         nonlocal n_done
         results[task.index] = payload
         done[task.index] = True
@@ -531,7 +549,7 @@ def supervised_map(
         if journal and on_result is not None:
             on_result(task.item, payload)
 
-    def _fail_attempt(task: _Task, failure: dict) -> None:
+    def _fail_attempt(task: PoolTask, failure: dict) -> None:
         """Record one failed attempt: requeue with backoff, or go terminal."""
         task.failures.append(failure)
         if task.attempt <= retries:

@@ -125,6 +125,7 @@ from repro.experiments.supervisor import (
     spec_key,
     supervised_map,
 )
+from repro.machine import io as machine_io
 from repro.machine.machine import Machine
 from repro.schedulers.etf import ETFScheduler
 from repro.schedulers.fifo import FIFOScheduler
@@ -134,6 +135,7 @@ from repro.schedulers.random_policy import RandomScheduler
 from repro.sim.compile import compile_scenario, scenario_cache_stats
 from repro.sim.engine import simulate_degraded
 from repro.sim.fast_engine import run_lanes
+from repro.taskgraph import io as taskgraph_io
 from repro.taskgraph.generators import layered_random, random_dag
 from repro.utils.chaos import FAULT_KINDS, ChaosConfig
 from repro.utils.tabulate import format_table
@@ -328,6 +330,50 @@ def _cached_machine(name: str) -> Machine:
     return machine
 
 
+def _spec_graph(spec: dict):
+    """Resolve a spec's graph: registry ``(family, seed)`` or inline payload.
+
+    Service jobs may carry the graph *by value* (``graph_payload``, the
+    :func:`repro.taskgraph.io.to_dict` form) under a content-derived family
+    key (``payload:<hash>``); the payload is deserialized once per worker and
+    cached under that key, so repeated jobs on the same shipped graph hit
+    the compiled-scenario memo exactly like registry families do.
+    """
+    payload = spec.get("graph_payload")
+    if payload is None:
+        return _cached_graph(spec["family"], spec["graph_seed"])
+    key = (spec["family"], spec.get("graph_seed"))
+    graph = _GRAPH_CACHE.get(key)
+    if graph is None:
+        graph = taskgraph_io.from_dict(payload)
+        graph.validate()
+        while len(_GRAPH_CACHE) >= _WORKER_CACHE_LIMIT:
+            _GRAPH_CACHE.pop(next(iter(_GRAPH_CACHE)))
+        _GRAPH_CACHE[key] = graph
+    return graph
+
+
+def _spec_machine(spec: dict) -> Machine:
+    """Resolve a spec's machine: registry name or inline payload.
+
+    The payload form (``machine_payload``, :func:`repro.machine.io.to_dict`)
+    is cached per worker under its content-derived machine key, keeping the
+    machine object identity stable so the scenario memo (keyed on
+    ``id(machine)``) stays hot across jobs that ship the same machine.
+    """
+    payload = spec.get("machine_payload")
+    if payload is None:
+        return _cached_machine(spec["machine"])
+    name = spec["machine"]
+    machine = _MACHINE_CACHE.get(name)
+    if machine is None:
+        machine = machine_io.from_dict(payload)
+        while len(_MACHINE_CACHE) >= _WORKER_CACHE_LIMIT:
+            _MACHINE_CACHE.pop(next(iter(_MACHINE_CACHE)))
+        _MACHINE_CACHE[name] = machine
+    return machine
+
+
 def build_grid(
     policies: Sequence[str] = ("HLF", "ETF", "SA"),
     machines: Sequence[str] = ("hypercube8", "ring9"),
@@ -413,8 +459,8 @@ def run_scenario(spec: dict) -> dict:
     start = time.perf_counter()
     cache_before = scenario_cache_stats()
     try:
-        graph = _cached_graph(spec["family"], spec["graph_seed"])
-        machine = _cached_machine(spec["machine"])
+        graph = _spec_graph(spec)
+        machine = _spec_machine(spec)
         comm_model = LinearCommModel() if spec["with_comm"] else ZeroCommModel()
         result, engine_used, fallbacks = simulate_degraded(
             graph,
@@ -443,6 +489,8 @@ def run_scenario(spec: dict) -> dict:
             engine_used=engine_used,
             engine_fallbacks=fallbacks,
         )
+        if spec.get("_fingerprint"):
+            row["fingerprint"] = result.fingerprint()
     except Exception as exc:
         # The row-capture boundary of the ladder: record the structured
         # taxonomy (type + traceback) so the failure is diagnosable from
@@ -455,6 +503,9 @@ def run_scenario(spec: dict) -> dict:
     cache_after = scenario_cache_stats()
     row["compile_cache_hits"] = cache_after["hits"] - cache_before["hits"]
     row["compile_cache_misses"] = cache_after["misses"] - cache_before["misses"]
+    row["compile_cache_evictions"] = (
+        cache_after["evictions"] - cache_before["evictions"]
+    )
     row["runtime_s"] = time.perf_counter() - start
     row["worker_pid"] = os.getpid()
     return row
@@ -506,8 +557,8 @@ def run_lane_group(specs: List[dict]) -> List[dict]:
     for pos, row in enumerate(rows):
         cache_before = scenario_cache_stats()
         try:
-            graph = _cached_graph(row["family"], row["graph_seed"])
-            machine = _cached_machine(row["machine"])
+            graph = _spec_graph(row)
+            machine = _spec_machine(row)
             policy = POLICY_BUILDERS[row["policy"]](row["policy_seed"])
             comm_model = (
                 LinearCommModel() if row["with_comm"] else ZeroCommModel()
@@ -524,6 +575,9 @@ def run_lane_group(specs: List[dict]) -> List[dict]:
         row["compile_cache_hits"] = cache_after["hits"] - cache_before["hits"]
         row["compile_cache_misses"] = (
             cache_after["misses"] - cache_before["misses"]
+        )
+        row["compile_cache_evictions"] = (
+            cache_after["evictions"] - cache_before["evictions"]
         )
         lanes.append((scenario, policy))
         built.append((pos, graph))
@@ -558,6 +612,8 @@ def run_lane_group(specs: List[dict]) -> List[dict]:
                 runtime_s=per_lane_s,
                 worker_pid=pid,
             )
+            if rows[pos].get("_fingerprint"):
+                rows[pos]["fingerprint"] = result.fingerprint()
     return rows
 
 
@@ -917,6 +973,9 @@ def run_sweep(
             "compile_cache": {
                 "hits": sum(r.get("compile_cache_hits", 0) for r in rows),
                 "misses": sum(r.get("compile_cache_misses", 0) for r in rows),
+                "evictions": sum(
+                    r.get("compile_cache_evictions", 0) or 0 for r in rows
+                ),
                 "n_workers": len(
                     {
                         r["worker_pid"]

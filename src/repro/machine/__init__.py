@@ -11,6 +11,7 @@ hop-distance matrix and shortest routing paths.
 from repro.machine.params import CommParams, normalize_link_weights, normalize_speeds
 from repro.machine.topology import Topology
 from repro.machine.machine import Machine
+from repro.machine import io
 from repro.machine.routing import (
     all_pairs_hop_distance,
     all_pairs_weighted_distance,
@@ -22,6 +23,7 @@ __all__ = [
     "CommParams",
     "Topology",
     "Machine",
+    "io",
     "all_pairs_hop_distance",
     "all_pairs_weighted_distance",
     "shortest_path",

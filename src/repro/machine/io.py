@@ -1,0 +1,137 @@
+"""Serialization of machines.
+
+The sweep and the scheduling service address machines by registry name
+(``"hypercube8"``, ``"hetero-ring9-2x"``, ...); this module adds the
+by-payload path: a :class:`~repro.machine.machine.Machine` round-trips
+through a JSON-serializable dictionary carrying the topology (link list),
+the communication parameters, the per-processor ``speeds`` and the per-link
+``link_weights`` — so a service job can ship a machine the server has never
+seen, in the same style :mod:`repro.taskgraph.io` ships task graphs.
+
+Homogeneous defaults are omitted from the payload (``speeds`` /
+``link_weights`` keys absent means the unit vectors), which keeps the
+reloaded machine on the exact homogeneous fast paths — the round-tripped
+machine produces bit-identical distances, routes and costs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import MachineError
+from repro.machine.machine import Machine
+from repro.machine.params import CommParams
+from repro.machine.topology import Topology
+
+__all__ = ["to_dict", "from_dict", "save_json", "load_json"]
+
+PathLike = Union[str, Path]
+_FORMAT_VERSION = 1
+
+_PARAM_FIELDS = (
+    "context_switch",
+    "output_setup",
+    "header_control",
+    "bandwidth_bits_per_us",
+    "bits_per_word",
+)
+
+
+def to_dict(machine: Machine) -> dict:
+    """Convert *machine* to a JSON-serializable dictionary."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "name": machine.name,
+        "n_processors": machine.n_processors,
+        "topology_name": machine.topology.name,
+        "links": [[int(i), int(j)] for i, j in machine.topology.links()],
+        "params": {
+            field: float(getattr(machine.params, field)) for field in _PARAM_FIELDS
+        },
+    }
+    if not machine.has_unit_speeds:
+        payload["speeds"] = [float(s) for s in machine.speeds]
+    if not machine.has_unit_link_weights:
+        payload["link_weights"] = [
+            [int(i), int(j), machine.link_weight(i, j)]
+            for i, j in machine.topology.links()
+            if machine.link_weight(i, j) != 1.0
+        ]
+    return payload
+
+
+def from_dict(data: dict) -> Machine:
+    """Rebuild a :class:`Machine` from a dictionary produced by :func:`to_dict`.
+
+    Raises :class:`~repro.exceptions.MachineError` on structurally invalid
+    payloads (missing keys, malformed links, out-of-range endpoints), so
+    callers handling untrusted input (the service job protocol) get the
+    machine taxonomy rather than a bare ``KeyError``/``TypeError``.
+    """
+    if not isinstance(data, dict):
+        raise MachineError(f"machine payload must be a dict, got {type(data).__name__}")
+    try:
+        n = int(data["n_processors"])
+    except (KeyError, TypeError, ValueError):
+        raise MachineError("machine payload is missing a valid 'n_processors'")
+    if n < 1:
+        raise MachineError(f"machine payload needs n_processors >= 1, got {n}")
+    links = data.get("links")
+    if not isinstance(links, list):
+        raise MachineError("machine payload is missing its 'links' list")
+    adjacency = np.zeros((n, n), dtype=bool)
+    for link in links:
+        try:
+            i, j = (int(link[0]), int(link[1]))
+        except (TypeError, ValueError, IndexError):
+            raise MachineError(f"malformed link entry {link!r} (expected [i, j])")
+        if not (0 <= i < n and 0 <= j < n) or i == j:
+            raise MachineError(f"link {link!r} is out of range for {n} processors")
+        adjacency[i, j] = adjacency[j, i] = True
+    params_data = data.get("params") or {}
+    if not isinstance(params_data, dict):
+        raise MachineError("machine payload 'params' must be a dict")
+    unknown = set(params_data) - set(_PARAM_FIELDS)
+    if unknown:
+        raise MachineError(f"unknown CommParams fields {sorted(unknown)}")
+    try:
+        params = CommParams(**{k: float(v) for k, v in params_data.items()})
+    except (TypeError, ValueError) as exc:
+        raise MachineError(f"invalid CommParams payload: {exc}") from exc
+    speeds = data.get("speeds")
+    link_weights = None
+    if data.get("link_weights") is not None:
+        raw = data["link_weights"]
+        if not isinstance(raw, list):
+            raise MachineError("machine payload 'link_weights' must be a list")
+        link_weights = {}
+        for entry in raw:
+            try:
+                i, j, w = int(entry[0]), int(entry[1]), float(entry[2])
+            except (TypeError, ValueError, IndexError):
+                raise MachineError(
+                    f"malformed link_weights entry {entry!r} (expected [i, j, weight])"
+                )
+            link_weights[(i, j)] = w
+    topology = Topology(adjacency, name=str(data.get("topology_name", "custom")))
+    return Machine(
+        topology,
+        params=params,
+        name=str(data.get("name") or topology.name),
+        speeds=speeds,
+        link_weights=link_weights,
+    )
+
+
+def save_json(machine: Machine, path: PathLike, indent: int = 2) -> None:
+    """Write *machine* to *path* as JSON."""
+    Path(path).write_text(json.dumps(to_dict(machine), indent=indent))
+
+
+def load_json(path: PathLike) -> Machine:
+    """Load a machine previously written with :func:`save_json`."""
+    return from_dict(json.loads(Path(path).read_text()))

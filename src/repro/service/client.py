@@ -1,0 +1,157 @@
+"""A small blocking client for the scheduling service.
+
+Speaks the newline-delimited JSON protocol of :mod:`repro.service.protocol`
+over a plain TCP socket.  :meth:`ServiceClient.simulate_many` pipelines an
+arbitrary number of jobs over one connection — a writer thread streams the
+requests while the caller's thread reads responses, so neither side's
+socket buffer can deadlock the exchange — and reorders the responses back
+to submission order by ``id``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Dict, Iterable, List, Optional
+
+from repro.exceptions import ProtocolError, ReproError
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "ServiceJobError"]
+
+
+class ServiceJobError(ReproError):
+    """A job the service answered with a structured error response.
+
+    Carries the taxonomy fields from the wire: ``error_type`` (the server-
+    side exception class name) and the optional formatted ``traceback``.
+    """
+
+    def __init__(self, message: str, error_type: str, traceback: str = ""):
+        super().__init__(message)
+        self.error_type = error_type
+        self.traceback = traceback
+
+
+class ServiceClient:
+    """One TCP connection to a :class:`~repro.service.server.SchedulerService`."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------ #
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._reader = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._reader.close()
+            finally:
+                self._sock.close()
+            self._sock = None
+            self._reader = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    def _send(self, message: dict) -> None:
+        assert self._sock is not None, "client is not connected"
+        self._sock.sendall(protocol.encode_message(message))
+
+    def _recv(self) -> dict:
+        line = self._reader.readline()
+        if not line:
+            raise ProtocolError("service closed the connection")
+        try:
+            return json.loads(line)
+        except ValueError as exc:
+            raise ProtocolError(f"service sent invalid JSON: {exc}")
+
+    def request(self, op: str, **fields) -> dict:
+        """One synchronous request/response round trip."""
+        self.connect()
+        self._next_id += 1
+        request_id = self._next_id
+        self._send({"id": request_id, "op": op, **fields})
+        while True:
+            response = self._recv()
+            if response.get("id") == request_id:
+                return response
+
+    # ------------------------------------------------------------------ #
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def stats(self) -> dict:
+        return self.request("stats")["stats"]
+
+    def simulate(self, job: dict) -> dict:
+        """Run one job and return its result row (raises on error response)."""
+        return self._unwrap(self.request("simulate", job=job))
+
+    def simulate_many(
+        self, jobs: Iterable[dict], raise_on_error: bool = True
+    ) -> List[dict]:
+        """Pipeline *jobs* over this connection; results in submission order.
+
+        With ``raise_on_error=False``, failed jobs yield their raw error
+        responses (``{"ok": False, "error": {...}}``) in place of rows.
+        """
+        self.connect()
+        jobs = list(jobs)
+        requests = []
+        for job in jobs:
+            self._next_id += 1
+            requests.append({"id": self._next_id, "op": "simulate", "job": job})
+        order = [request["id"] for request in requests]
+        writer_error: List[BaseException] = []
+
+        def _stream() -> None:
+            try:
+                for request in requests:
+                    self._send(request)
+            except BaseException as exc:  # pragma: no cover - socket failure
+                writer_error.append(exc)
+
+        writer = threading.Thread(target=_stream, daemon=True)
+        writer.start()
+        by_id: Dict[object, dict] = {}
+        try:
+            while len(by_id) < len(order):
+                response = self._recv()
+                by_id[response.get("id")] = response
+        finally:
+            writer.join(timeout=self.timeout)
+        if writer_error:
+            raise writer_error[0]
+        responses = [by_id[request_id] for request_id in order]
+        if not raise_on_error:
+            return responses
+        return [self._unwrap(response) for response in responses]
+
+    @staticmethod
+    def _unwrap(response: dict) -> dict:
+        if response.get("ok"):
+            return response["row"]
+        error = response.get("error") or {}
+        raise ServiceJobError(
+            error.get("message", "service error"),
+            error_type=error.get("type", "ServiceError"),
+            traceback=error.get("traceback", ""),
+        )

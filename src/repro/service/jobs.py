@@ -1,0 +1,69 @@
+"""Job routing and coalescing decisions for the scheduling service.
+
+Pure functions over scenario specs (the dicts
+:func:`repro.service.protocol.job_to_spec` produces), separated from the
+server's event loop so the routing policy is unit-testable on its own:
+
+* :func:`affinity_key` / :func:`shard` — which worker a job *wants*: a
+  stable hash of the (graph, machine) identity, so repeats of the same
+  scenario land on the worker whose compiled-scenario memo
+  (:mod:`repro.sim.compile`) already holds it.
+* :func:`lane_eligible` / :func:`coalesce_key` — whether and with whom a
+  job may share a batched B-lane engine call
+  (:func:`repro.experiments.sweep.run_lane_group`).  The grouping rule
+  matches the sweep's lane planner: no replica fan-out, engine not pinned
+  off the fast path, and one fidelity per batched call.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Tuple
+
+__all__ = ["affinity_key", "shard", "lane_eligible", "coalesce_key"]
+
+
+def affinity_key(spec: dict) -> str:
+    """The cache-affinity identity of a spec: its (graph, machine) pair.
+
+    Policy, seeds and fidelity are deliberately excluded — a compiled
+    scenario is reusable across all of them, so jobs differing only there
+    should share a worker (and its hot cache), not scatter.
+    """
+    payload = {
+        "family": spec.get("family"),
+        "graph_seed": spec.get("graph_seed"),
+        "machine": spec.get("machine"),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def shard(spec: dict, n_workers: int) -> int:
+    """The worker index a spec routes to (stable across runs and processes)."""
+    if n_workers <= 1:
+        return 0
+    return int(affinity_key(spec), 16) % n_workers
+
+
+def lane_eligible(spec: dict) -> bool:
+    """Whether this job may ride a batched lane group.
+
+    Mirrors the sweep's lane planner: replica fan-out runs solo (each
+    replicated cell is already an internal batch), and ``fast=False`` pins
+    the reference object engine which has no lane path.  SA jobs with no
+    replica fan-out are eligible — coalescing them is the service's main
+    win, since annealing dominates per-job cost.
+    """
+    return spec.get("replicas") is None and spec.get("fast") is not False
+
+
+def coalesce_key(spec: dict) -> Tuple[str, ...]:
+    """Jobs with equal keys may share one batched engine call.
+
+    One fidelity per :func:`~repro.sim.fast_engine.run_lanes` call is the
+    engine's contract; everything else (policy, machine, graph, seeds) may
+    mix freely within a group, exactly as sweep lane chunks do.
+    """
+    return ("lanes", spec.get("fidelity", "latency"))

@@ -57,7 +57,7 @@ from repro.sim.compile import (
     stack_scenarios,
     supports_comm_model,
 )
-from repro.sim.fast_engine import _validate_fast_assignment
+from repro.sim.fast_engine import _validate_fast_assignment, run_compiled
 from repro.sim.results import SimulationResult
 
 __all__ = ["BatchEpoch", "run_batch", "simulate_batch"]
@@ -258,6 +258,13 @@ def run_batch(
         )
     if not lanes:
         return []
+    if len(lanes) == 1:
+        # A single lane has nothing to amortize: skip the stacking copies
+        # and run the solo engine it would be bit-identical to anyway.
+        # Matters to callers whose group sizes are workload-driven — a
+        # coalescing window that catches one job should not pay batch setup.
+        scenario, policy = lanes[0]
+        return [run_compiled(scenario, policy, fidelity=fidelity)]
     scenarios = [sc for sc, _ in lanes]
     policies = [pol for _, pol in lanes]
     st = stack_scenarios(scenarios)

@@ -32,6 +32,7 @@ back to the object engine for anything else.
 
 from __future__ import annotations
 
+import os
 import weakref
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional
@@ -51,6 +52,8 @@ __all__ = [
     "stack_scenarios",
     "supports_comm_model",
     "scenario_cache_stats",
+    "scenario_cache_limit",
+    "set_scenario_cache_limit",
 ]
 
 TaskId = Hashable
@@ -68,20 +71,64 @@ def supports_comm_model(comm_model: CommunicationModel) -> bool:
 #: Compiled-scenario memo, keyed weakly by graph (entries die with the
 #: graph, and the graph object itself stays pickle-clean).  Each graph maps
 #: to an insertion-ordered ``{(model type, version, machine id): (machine,
-#: scenario)}`` dict bounded by ``_SCENARIO_CACHE_PER_GRAPH`` (FIFO
-#: eviction), so alternating machines or repeated mutation cannot grow it
-#: without bound.
+#: scenario)}`` dict bounded by the per-graph cache limit (FIFO eviction),
+#: so alternating machines or repeated mutation cannot grow it without
+#: bound.
 _SCENARIO_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
-_SCENARIO_CACHE_PER_GRAPH = 8
 
-#: Process-wide memo-hit counters.  Sweep workers snapshot them around each
-#: scenario so per-run (and per-worker-aggregate) compile reuse is reportable.
-_CACHE_STATS = {"hits": 0, "misses": 0}
+
+def _limit_from_env() -> int:
+    raw = os.environ.get("REPRO_SCENARIO_CACHE_PER_GRAPH", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return 8
+    return value if value >= 1 else 8
+
+
+#: Per-graph entry bound of the scenario memo.  Batch jobs cycling many
+#: machines over one graph (e.g. a long-lived scheduling service) want a
+#: bigger bound than a paired sweep does; tune it with
+#: :func:`set_scenario_cache_limit` or the ``REPRO_SCENARIO_CACHE_PER_GRAPH``
+#: environment variable (read once at import, so service workers inherit it
+#: across both fork and spawn start methods).
+_SCENARIO_CACHE_PER_GRAPH = _limit_from_env()
+
+#: Process-wide memo counters.  Sweep workers snapshot them around each
+#: scenario so per-run (and per-worker-aggregate) compile reuse is
+#: reportable; a long-lived server additionally watches ``evictions`` to
+#: tell a too-small cache bound (thrash) from genuine cold misses.
+_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
 
 def scenario_cache_stats() -> Dict[str, int]:
-    """A copy of this process's compiled-scenario memo counters."""
+    """A copy of this process's compiled-scenario memo counters.
+
+    ``hits`` / ``misses`` count :func:`compile_scenario` lookups;
+    ``evictions`` counts entries dropped by the per-graph FIFO bound (see
+    :func:`set_scenario_cache_limit`).
+    """
     return dict(_CACHE_STATS)
+
+
+def scenario_cache_limit() -> int:
+    """The current per-graph entry bound of the compiled-scenario memo."""
+    return _SCENARIO_CACHE_PER_GRAPH
+
+
+def set_scenario_cache_limit(limit: int) -> int:
+    """Set the per-graph entry bound of the compiled-scenario memo.
+
+    Returns the previous bound.  Existing over-bound entries are evicted
+    lazily on the next insertion for their graph.  The initial bound comes
+    from ``REPRO_SCENARIO_CACHE_PER_GRAPH`` (default 8).
+    """
+    global _SCENARIO_CACHE_PER_GRAPH
+    if limit < 1:
+        raise ValueError(f"scenario cache limit must be >= 1, got {limit}")
+    previous = _SCENARIO_CACHE_PER_GRAPH
+    _SCENARIO_CACHE_PER_GRAPH = int(limit)
+    return previous
 
 
 @dataclass
@@ -378,6 +425,7 @@ def compile_scenario(
     )
     while len(cache) >= _SCENARIO_CACHE_PER_GRAPH:
         cache.pop(next(iter(cache)))
+        _CACHE_STATS["evictions"] += 1
     cache[key] = (machine, scenario)
     return scenario
 
@@ -544,9 +592,22 @@ class StackedScenarios:
 #: (e.g. timing repeats), and restacking is a large copy.  Keyed by the
 #: identity tuple of the member scenarios — the entry holds strong
 #: references to them, so the ids cannot be recycled while the entry lives —
-#: and FIFO-bounded like the per-graph scenario cache.
+#: and FIFO-bounded like the per-graph scenario cache.  A long-lived
+#: service whose coalescer rotates among many batch compositions can widen
+#: the bound with ``REPRO_STACK_CACHE_SIZE`` (each entry pins its member
+#: scenarios, so the bound trades memory for restack copies).
 _STACK_CACHE: Dict[tuple, StackedScenarios] = {}
-_STACK_CACHE_SIZE = 4
+
+
+def _stack_size_from_env() -> int:
+    try:
+        value = int(os.environ.get("REPRO_STACK_CACHE_SIZE", ""))
+    except ValueError:
+        return 4
+    return value if value >= 1 else 4
+
+
+_STACK_CACHE_SIZE = _stack_size_from_env()
 
 
 def stack_scenarios(scenarios: List["CompiledScenario"]) -> StackedScenarios:

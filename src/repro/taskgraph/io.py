@@ -57,15 +57,35 @@ def to_dict(graph: TaskGraph) -> dict:
     }
 
 
+def _task_id(raw):
+    """Restore a task id that crossed a JSON boundary.
+
+    Several graph families key tasks by tuples (``(layer, index)``,
+    ``("stem", 3)``), which JSON can only encode as lists; lists are
+    unhashable and would poison the rebuilt graph.  Recursively converting
+    them back to tuples makes ``from_dict(json.loads(json.dumps(to_dict(g))))``
+    id-exact for every family — the contract service graph payloads rely on.
+    """
+    if isinstance(raw, list):
+        return tuple(_task_id(part) for part in raw)
+    return raw
+
+
 def from_dict(data: dict) -> TaskGraph:
     """Rebuild a :class:`TaskGraph` from a dictionary produced by :func:`to_dict`."""
     if "tasks" not in data or "edges" not in data:
         raise TaskGraphError("dictionary is missing 'tasks' or 'edges' keys")
     g = TaskGraph(data.get("name", "taskgraph"))
     for t in data["tasks"]:
-        g.add_task(t["id"], float(t["duration"]), t.get("label", ""), **t.get("attrs", {}))
+        g.add_task(
+            _task_id(t["id"]), float(t["duration"]), t.get("label", ""),
+            **t.get("attrs", {}),
+        )
     for e in data["edges"]:
-        g.add_dependency(e["source"], e["target"], float(e.get("comm", 0.0)))
+        g.add_dependency(
+            _task_id(e["source"]), _task_id(e["target"]),
+            float(e.get("comm", 0.0)),
+        )
     return g
 
 

@@ -1,0 +1,170 @@
+"""Machine JSON serialization: round trips, fast paths, and error taxonomy.
+
+:mod:`repro.machine.io` is how the scheduling service ships machines the
+server has never seen; the contract is a **bit-identical** round trip —
+the reloaded machine must produce the same distances, routes and link
+costs, and homogeneous machines must come back on the unit fast paths
+(``speeds`` / ``link_weights`` omitted from the payload entirely).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MachineError
+from repro.machine import io as machine_io
+from repro.machine.machine import Machine
+from repro.machine.params import CommParams
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def machines(draw):
+    """Paper-style machines, optionally with random speeds/link weights."""
+    build = draw(
+        st.sampled_from(
+            [
+                lambda **kw: Machine.ring(7, **kw),
+                lambda **kw: Machine.hypercube(3, **kw),
+                lambda **kw: Machine.mesh(2, 3, **kw),
+                lambda **kw: Machine.fully_connected(4, **kw),
+                lambda **kw: Machine.bus(5, **kw),
+            ]
+        )
+    )
+    if not draw(st.booleans()):
+        return build()
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    topology = build().topology
+    speeds = rng.uniform(0.5, 4.0, topology.n_processors).tolist()
+    link_weights = {
+        tuple(sorted(link)): float(rng.uniform(0.5, 3.0))
+        for link in topology.links()
+    }
+    return build(speeds=speeds, link_weights=link_weights)
+
+
+def _assert_equivalent(original: Machine, restored: Machine) -> None:
+    assert restored.n_processors == original.n_processors
+    assert restored.name == original.name
+    assert np.array_equal(
+        restored.topology.adjacency(), original.topology.adjacency()
+    )
+    assert np.array_equal(restored.speeds, original.speeds)
+    assert np.array_equal(
+        restored.distance_matrix(), original.distance_matrix()
+    )
+    assert np.array_equal(
+        restored.weighted_distance_matrix(), original.weighted_distance_matrix()
+    )
+    for field in (
+        "context_switch",
+        "output_setup",
+        "header_control",
+        "bandwidth_bits_per_us",
+        "bits_per_word",
+    ):
+        assert getattr(restored.params, field) == getattr(original.params, field)
+    for i, j in original.topology.links():
+        assert restored.link_weight(i, j) == original.link_weight(i, j)
+
+
+class TestRoundTrip:
+    @_SETTINGS
+    @given(machine=machines())
+    def test_dict_round_trip_is_exact(self, machine):
+        payload = machine_io.to_dict(machine)
+        # The payload must survive an actual JSON encode/decode cycle.
+        restored = machine_io.from_dict(json.loads(json.dumps(payload)))
+        _assert_equivalent(machine, restored)
+        assert machine_io.to_dict(restored) == payload
+
+    @_SETTINGS
+    @given(machine=machines())
+    def test_unit_fast_paths_survive(self, machine):
+        restored = machine_io.from_dict(machine_io.to_dict(machine))
+        assert restored.has_unit_speeds == machine.has_unit_speeds
+        assert restored.has_unit_link_weights == machine.has_unit_link_weights
+
+    def test_homogeneous_payload_omits_unit_vectors(self):
+        payload = machine_io.to_dict(Machine.hypercube(3))
+        assert "speeds" not in payload
+        assert "link_weights" not in payload
+
+    def test_file_round_trip(self, tmp_path):
+        machine = Machine.ring(
+            5, speeds=[1.0, 2.0, 1.0, 1.0, 0.5], link_weights={(0, 1): 2.0}
+        )
+        path = tmp_path / "machine.json"
+        machine_io.save_json(machine, path)
+        _assert_equivalent(machine, machine_io.load_json(path))
+
+    def test_custom_params_round_trip(self):
+        machine = Machine.ring(
+            4, params=CommParams(context_switch=10.0, bits_per_word=32.0)
+        )
+        restored = machine_io.from_dict(machine_io.to_dict(machine))
+        assert restored.params.context_switch == 10.0
+        assert restored.params.bits_per_word == 32.0
+
+
+class TestErrorTaxonomy:
+    def _valid(self) -> dict:
+        return machine_io.to_dict(Machine.ring(4))
+
+    def test_non_dict_payload(self):
+        with pytest.raises(MachineError, match="must be a dict"):
+            machine_io.from_dict([1, 2, 3])
+
+    def test_missing_n_processors(self):
+        payload = self._valid()
+        del payload["n_processors"]
+        with pytest.raises(MachineError, match="n_processors"):
+            machine_io.from_dict(payload)
+
+    def test_missing_links(self):
+        payload = self._valid()
+        del payload["links"]
+        with pytest.raises(MachineError, match="links"):
+            machine_io.from_dict(payload)
+
+    def test_malformed_link_entry(self):
+        payload = self._valid()
+        payload["links"][0] = ["a", None]
+        with pytest.raises(MachineError, match="malformed link"):
+            machine_io.from_dict(payload)
+
+    def test_out_of_range_link(self):
+        payload = self._valid()
+        payload["links"].append([0, 99])
+        with pytest.raises(MachineError, match="out of range"):
+            machine_io.from_dict(payload)
+
+    def test_self_link_rejected(self):
+        payload = self._valid()
+        payload["links"].append([1, 1])
+        with pytest.raises(MachineError, match="out of range"):
+            machine_io.from_dict(payload)
+
+    def test_unknown_params_field(self):
+        payload = self._valid()
+        payload["params"]["warp_factor"] = 9.0
+        with pytest.raises(MachineError, match="warp_factor"):
+            machine_io.from_dict(payload)
+
+    def test_malformed_link_weights(self):
+        payload = self._valid()
+        payload["link_weights"] = [[0, 1]]  # missing the weight
+        with pytest.raises(MachineError, match="link_weights"):
+            machine_io.from_dict(payload)
