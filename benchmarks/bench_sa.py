@@ -16,6 +16,16 @@ and reports
   (target ≥ 8× at B = 128; CI floor ≥ 2×) — batched wall clock divided by
   the replica count, i.e. what one multi-start chain costs.
 
+A second test races the anytime lane **portfolio** (``portfolio=8``:
+heterogeneous cooling schedules × initial seeds × temperature scales with
+successive-halving culling) against fixed-B multi-start (``replicas=8``) at
+the matched draw budget over full SA runs of ``dag200``, ``mapreduce-1k``
+and ``gridcat-1k``.  The quality metric is the ratio of total within-packet
+cost improvement (portfolio / fixed; both runs are deterministic under the
+shared seed, so the ratio is exactly reproducible); the minimum across
+families is gated in CI against the ``min_portfolio_quality_asserted``
+floor.
+
 An end-to-end row runs SA over the sweep registry's 200-task ``dag200``
 family through the object and fast engines (the SA ``fast_assign`` path),
 asserting equal fingerprints and zero fallback epochs.
@@ -50,6 +60,14 @@ BENCH_JSON = REPO_ROOT / "BENCH_sa.json"
 #: >= 8x per replica batched).
 MIN_SINGLE_SPEEDUP = 2.0
 MIN_BATCHED_SPEEDUP = 2.0
+
+#: Matched draw budget of the portfolio-quality race: 8 portfolio lanes vs
+#: 8 fixed multi-start replicas, both at the paper's per-lane step budget.
+PORTFOLIO_LANES = 8
+#: CI floor on the worst-family quality ratio.  Deterministic (seeded
+#: annealing, no wall clock involved), so any drop means the racing logic
+#: itself changed; measured values are ~5-9x (see BENCH_sa.json).
+MIN_PORTFOLIO_QUALITY = 1.2
 
 #: Replica count of the batched measurement: big enough that the vectorized
 #: lock-step amortizes its per-step numpy dispatch over many lanes (the
@@ -212,3 +230,97 @@ def test_sa_annealing_tiers_speedup(benchmark, save_artifact):
 
     # pytest-benchmark timing: the array-walk bag (one repetition).
     benchmark(lambda: _anneal_all(array, packets, machine))
+
+
+@pytest.mark.benchmark(group="sa")
+def test_sa_portfolio_quality(benchmark, save_artifact):
+    """Anytime portfolio vs fixed-B multi-start at the matched draw budget."""
+    machine = Machine.hypercube(3)
+    families = ("dag200", "mapreduce-1k", "gridcat-1k")
+    per_family = {}
+    for family in families:
+        graph = GRAPH_FAMILIES[family](0)
+        measured = {}
+        for label, scheduler in (
+            ("fixed", SAScheduler(SAConfig.paper_defaults(seed=0)).with_replicas(
+                PORTFOLIO_LANES
+            )),
+            ("portfolio", SAScheduler(
+                SAConfig.paper_defaults(seed=0)
+            ).with_portfolio(PORTFOLIO_LANES)),
+        ):
+            t0 = time.perf_counter()
+            result = simulate(
+                graph, machine, scheduler,
+                comm_model=LinearCommModel(), record_trace=False,
+            )
+            elapsed = time.perf_counter() - t0
+            snapshot = scheduler.best_so_far(include_assignment=False)
+            measured[label] = {
+                "makespan": result.makespan,
+                "total_improvement": snapshot["total_improvement"],
+                "n_packets": snapshot["n_packets"],
+                "wall_ms": round(elapsed * 1e3, 1),
+            }
+        fixed = measured["fixed"]["total_improvement"]
+        portfolio = measured["portfolio"]["total_improvement"]
+        assert fixed > 0 and portfolio > 0, (
+            f"{family}: degenerate run (improvements {fixed} / {portfolio})"
+        )
+        per_family[family] = {
+            "quality": round(portfolio / fixed, 3),
+            "fixed": measured["fixed"],
+            "portfolio": measured["portfolio"],
+        }
+
+    quality_min = min(entry["quality"] for entry in per_family.values())
+
+    # Fold the quality section into the baseline the speedup test wrote
+    # (read-modify-write so test order / partial runs cannot lose keys).
+    payload = json.loads(BENCH_JSON.read_text()) if BENCH_JSON.exists() else {
+        "benchmark": "bench_sa"
+    }
+    payload["portfolio_quality"] = {
+        family: entry["quality"] for family, entry in per_family.items()
+    }
+    payload["portfolio_quality_detail"] = per_family
+    payload["portfolio_quality_min"] = quality_min
+    payload["portfolio_lanes"] = PORTFOLIO_LANES
+    payload["min_portfolio_quality_asserted"] = MIN_PORTFOLIO_QUALITY
+    BENCH_JSON.write_text(json.dumps(payload, indent=1) + "\n")
+
+    lines = [
+        "SA anytime portfolio vs fixed-B multi-start "
+        f"(matched budget, {PORTFOLIO_LANES} lanes vs {PORTFOLIO_LANES} replicas)",
+        "quality = portfolio total cost improvement / fixed total cost improvement",
+        "",
+        f"{'family':<14} {'quality':>8} {'fixed impr':>11} {'portfolio impr':>15}",
+    ]
+    for family, entry in per_family.items():
+        lines.append(
+            f"{family:<14} {entry['quality']:>7.2f}x "
+            f"{entry['fixed']['total_improvement']:>11.2f} "
+            f"{entry['portfolio']['total_improvement']:>15.2f}"
+        )
+    lines.append("")
+    lines.append(f"worst-family quality: {quality_min:.2f}x "
+                 f"(floor {MIN_PORTFOLIO_QUALITY}x)")
+    save_artifact("sa_portfolio_quality", "\n".join(lines))
+    print("\n" + "\n".join(lines))
+
+    assert quality_min >= MIN_PORTFOLIO_QUALITY, (
+        f"portfolio quality regressed: {quality_min:.2f}x "
+        f"(floor {MIN_PORTFOLIO_QUALITY}x); see BENCH_sa.json"
+    )
+
+    # pytest-benchmark timing: one portfolio-raced dag200 run.
+    benchmark.pedantic(
+        lambda: simulate(
+            GRAPH_FAMILIES["dag200"](0), machine,
+            SAScheduler(SAConfig.paper_defaults(seed=0)).with_portfolio(
+                PORTFOLIO_LANES
+            ),
+            comm_model=LinearCommModel(), record_trace=False,
+        ),
+        rounds=1, iterations=1,
+    )

@@ -38,6 +38,11 @@ class ReplicaStats:
     n_accepted: int
     n_temperature_steps: int
     temperature_trajectory: Tuple[Tuple[float, float], ...] = field(default=())
+    #: portfolio racing only: was this lane culled at a rung boundary?
+    culled: bool = False
+    #: portfolio racing only: the lane's final temperature-step budget
+    #: (after reallocation); ``None`` outside portfolio runs.
+    budget: Optional[int] = None
 
     @property
     def improvement(self) -> float:
@@ -65,7 +70,10 @@ def summarize_replicas(stats: Sequence[ReplicaStats]) -> Dict[str, float]:
 
     Plain aggregates — mean / min / max / spread / sample standard deviation
     — over ``best_cost``; NaN-free for a single replica (std reported as
-    0.0).
+    0.0).  Portfolio runs (any replica carrying a ``budget``) add the racing
+    accounting: ``n_culled``, ``n_surviving``, ``total_budget`` (the
+    post-reallocation step budgets summed) and ``steps_used`` (temperature
+    steps actually walked, culled lanes truncated at their cull step).
     """
     if not stats:
         raise ValueError("summarize_replicas needs at least one replica")
@@ -77,7 +85,7 @@ def summarize_replicas(stats: Sequence[ReplicaStats]) -> Dict[str, float]:
         std = var ** 0.5
     else:
         std = 0.0
-    return {
+    out = {
         "n_replicas": float(n),
         "mean_best_cost": mean,
         "std_best_cost": std,
@@ -85,3 +93,10 @@ def summarize_replicas(stats: Sequence[ReplicaStats]) -> Dict[str, float]:
         "max_best_cost": max(costs),
         "spread": max(costs) - min(costs),
     }
+    if any(s.budget is not None for s in stats):
+        n_culled = sum(1 for s in stats if s.culled)
+        out["n_culled"] = float(n_culled)
+        out["n_surviving"] = float(n - n_culled)
+        out["total_budget"] = float(sum(s.budget or 0 for s in stats))
+        out["steps_used"] = float(sum(s.n_temperature_steps for s in stats))
+    return out

@@ -484,6 +484,7 @@ def anneal_replicas_batched(
     problem,
     annealer: Annealer,
     rngs,
+    plan=None,
 ) -> Tuple[List[AnnealingResult], List[List[Tuple[float, float]]]]:
     """Anneal ``len(rngs)`` replicas in lock-step over ``(B, k)`` state matrices.
 
@@ -499,6 +500,17 @@ def anneal_replicas_batched(
     Replicas stop independently (stall patience / max steps, replicated
     vectorized); a stopped lane simply leaves the active set while the rest
     keep walking.
+
+    With a *plan* (:class:`repro.annealing.portfolio.LanePlan`, duck-typed)
+    the lanes become heterogeneous: lane *b* seeds from
+    ``plan.problems[b]``, cools via ``plan.coolings[b]`` from
+    ``plan.t0s[b]``, and stops against its own (mutable) entry of
+    ``plan.budgets`` instead of the shared ``max_steps``.  After each
+    temperature step ``plan.controller.on_step`` may cull lanes (rung
+    racing) and raise the survivors' budgets in place.  Each lane still
+    consumes its generator exactly like a solo :func:`anneal_array` walk
+    with that lane's parameters, so culled or not, lane *b* replays as a
+    scalar run capped at its recorded ``n_iterations``.
     """
     B = len(rngs)
     if B == 0:
@@ -509,17 +521,35 @@ def anneal_replicas_batched(
         n_ready == 0
         or n_idle == 0
         or type(annealer.acceptance) is not BoltzmannSigmoidAcceptance
-        or annealer.initial_temperature is None
+        or (plan is None and annealer.initial_temperature is None)
         or params is None
     ):
+        if plan is not None:
+            raise ValueError(
+                "a lane plan needs the vectorized engine: sigmoid acceptance, "
+                "stall+max stopping and a non-degenerate packet"
+            )
         return anneal_replicas_scalar(kernel, problem, annealer, rngs)
     patience, stall_tol, max_steps = params
     moves = annealer.moves_per_temperature
     cooling = annealer.cooling
     resync_tol = annealer.resync_tolerance
-    t0 = annealer.initial_temperature
-    if t0 <= 0:
-        raise ValueError(f"initial temperature must be > 0, got {t0}")
+    if plan is None:
+        t0 = annealer.initial_temperature
+        if t0 <= 0:
+            raise ValueError(f"initial temperature must be > 0, got {t0}")
+        coolings = t0s = controller = None
+        budgets = np.full(B, max_steps, dtype=np.int64)
+    else:
+        coolings = list(plan.coolings)
+        t0s = [float(t) for t in plan.t0s]
+        for t in t0s:
+            if t <= 0:
+                raise ValueError(f"initial temperature must be > 0, got {t}")
+        budgets = plan.budgets  # mutated in place by the controller
+        controller = plan.controller
+        if len(coolings) != B or len(t0s) != B or len(budgets) != B:
+            raise ValueError("lane plan arrays must have one entry per replica")
 
     brows_l = kernel.balance_rows
     rows_l = kernel.comm_rows
@@ -535,7 +565,7 @@ def anneal_replicas_batched(
     orders: List[List[int]] = []
     n_assigned = np.zeros(B, dtype=np.int64)
     for b, r in enumerate(rngs):
-        st = problem.initial_state(r)
+        st = (problem if plan is None else plan.problems[b]).initial_state(r)
         o: List[int] = []
         for i, j in st.task_to_proc.items():
             assign[b, i] = j
@@ -676,11 +706,20 @@ def anneal_replicas_batched(
     n_ready_vec = np.full(B, n_ready, dtype=np.int64)
     outer = 0
     while active.size:
-        temperature = cooling.temperature(outer, t0)
-        if temperature < 0:
-            raise ValueError(f"temperature must be >= 0, got {temperature}")
-        zero_temp = temperature == 0.0
-        infinite_temp = math.isinf(temperature)
+        if plan is None:
+            temperature = cooling.temperature(outer, t0)
+            if temperature < 0:
+                raise ValueError(f"temperature must be >= 0, got {temperature}")
+            zero_temp = temperature == 0.0
+            infinite_temp = math.isinf(temperature)
+            lane_temps = None
+        else:
+            lane_temps = {}
+            for b in active.tolist():
+                tb = coolings[b].temperature(outer, t0s[b])
+                if tb < 0:
+                    raise ValueError(f"temperature must be >= 0, got {tb}")
+                lane_temps[b] = tb
         topup(active)
         act = active
         A = act.size
@@ -801,7 +840,23 @@ def anneal_replicas_batched(
             # -- acceptance (sigmoid; math.exp per lane keeps libm parity
             #    with the scalar walk — numpy's vectorized exp may differ in
             #    the last ulp on some builds, which would break bit-identity)
-            if zero_temp:
+            if lane_temps is not None:
+                probs = []
+                for k, d in enumerate(delta.tolist()):
+                    tb = lane_temps[act_list[k]]
+                    if tb == 0.0:
+                        probs.append(1.0 if d < 0.0 else 0.0)
+                    elif math.isinf(tb):
+                        probs.append(0.5)
+                    else:
+                        e = d / tb
+                        probs.append(
+                            1.0 / (1.0 + exp(e))
+                            if -500.0 <= e <= 500.0
+                            else (0.0 if e > 500.0 else 1.0)
+                        )
+                prob = np.asarray(probs)
+            elif zero_temp:
                 prob = np.where(delta < 0.0, 1.0, 0.0)
             elif infinite_temp:
                 prob = np.full(A, 0.5)
@@ -875,17 +930,26 @@ def anneal_replicas_batched(
             resynced = full_cost_lane(b)
             if abs(resynced - float(cost[b])) > resync_tol:
                 cost[b] = resynced
-            trajectories[b].append((temperature, float(cost[b])))
+            trajectories[b].append(
+                (temperature if lane_temps is None else lane_temps[b], float(cost[b]))
+            )
         c = cost[active]
         eq = have_last[active] & (np.abs(c - last_cost[active]) <= stall_tol)
         stall[active] = np.where(eq, stall[active] + 1, 0)
         last_cost[active] = c
         have_last[active] = True
-        stop = (stall[active] >= patience) | (outer + 1 >= max_steps)
+        stop = (stall[active] >= patience) | (outer + 1 >= budgets[active])
         stopped = active[stop]
         if stopped.size:
             n_iters[stopped] = outer + 1
             active = active[~stop]
+        if controller is not None and active.size:
+            culled = controller.on_step(
+                outer + 1, active.tolist(), budgets, n_iters, trajectories
+            )
+            if culled:
+                n_iters[np.asarray(culled)] = outer + 1
+                active = active[~np.isin(active, culled)]
         outer += 1
 
     results = []

@@ -9,10 +9,11 @@ strategy and the random seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Union
 
 from repro.annealing.acceptance import AcceptanceRule, BoltzmannSigmoidAcceptance
 from repro.annealing.cooling import CoolingSchedule, GeometricCooling
+from repro.annealing.portfolio import PortfolioConfig
 from repro.exceptions import ConfigurationError
 from repro.utils.rng import SeedLike
 
@@ -80,6 +81,15 @@ class SAConfig:
         lock-stepped replicas with per-replica child streams
         (:func:`repro.utils.rng.split`) and commits the best replica's
         mapping, reporting per-replica statistics for variance studies.
+    portfolio:
+        Anytime portfolio mode (:class:`repro.annealing.portfolio.PortfolioConfig`,
+        or an ``int`` lane count for the default axes).  Runs heterogeneous
+        lanes (cooling x initial assignment x temperature scale) in the
+        lock-step batched engine with successive-halving racing over the
+        recorded per-temperature costs; culled lanes donate their remaining
+        draw budget to the survivors.  Mutually exclusive with
+        ``replicas > 1``; requires the compiled sigmoid array walk (the only
+        engine with per-lane budget masks).
     """
 
     weight_balance: float = 0.5
@@ -96,6 +106,7 @@ class SAConfig:
     compiled: bool = True
     walk: str = "array"
     replicas: int = 1
+    portfolio: Optional[Union[int, PortfolioConfig]] = None
 
     def __post_init__(self) -> None:
         if self.weight_balance < 0 or self.weight_comm < 0:
@@ -136,6 +147,29 @@ class SAConfig:
             raise ConfigurationError(
                 f"replicas must be >= 1, got {self.replicas}"
             )
+        if self.portfolio is not None:
+            if isinstance(self.portfolio, int):
+                self.portfolio = PortfolioConfig(lanes=self.portfolio)
+            elif not isinstance(self.portfolio, PortfolioConfig):
+                raise ConfigurationError(
+                    f"portfolio must be a PortfolioConfig, an int lane count "
+                    f"or None, got {self.portfolio!r}"
+                )
+            if self.replicas > 1:
+                raise ConfigurationError(
+                    "portfolio and replicas > 1 are mutually exclusive "
+                    "(a portfolio already runs multiple lanes)"
+                )
+            if type(self.acceptance) is not BoltzmannSigmoidAcceptance:
+                raise ConfigurationError(
+                    "portfolio mode requires the sigmoid acceptance rule "
+                    "(the batched engine's only acceptance kernel)"
+                )
+            if not self.compiled or self.walk != "array":
+                raise ConfigurationError(
+                    "portfolio mode requires compiled=True and walk='array' "
+                    "(per-lane budget masks exist only in the array engine)"
+                )
 
     def moves_for_packet(self, n_ready: int, n_idle: int) -> int:
         """Inner-loop proposals per temperature for a packet of the given size.
@@ -156,6 +190,12 @@ class SAConfig:
     def with_replicas(self, replicas: int) -> "SAConfig":
         """Return a copy annealing *replicas* multi-start chains per packet."""
         return replace(self, replicas=replicas)
+
+    def with_portfolio(
+        self, portfolio: Union[int, PortfolioConfig]
+    ) -> "SAConfig":
+        """Return a copy running the anytime lane portfolio per packet."""
+        return replace(self, portfolio=portfolio, replicas=1)
 
     @classmethod
     def paper_defaults(cls, seed: SeedLike = None) -> "SAConfig":

@@ -19,12 +19,19 @@ uncompiled runs accept exactly the same moves for a fixed seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Hashable, List, Optional
+from typing import Dict, Hashable, List, Optional, Tuple
 
 import math
 
+import numpy as np
+
 from repro.annealing.acceptance import BoltzmannSigmoidAcceptance
 from repro.annealing.annealer import Annealer, AnnealingResult
+from repro.annealing.portfolio import (
+    LanePlan,
+    PortfolioReport,
+    SuccessiveHalvingController,
+)
 from repro.annealing.problem import AnnealingProblem
 from repro.annealing.replicas import ReplicaStats, best_replica_index
 from repro.annealing.stopping import CombinedStopping, MaxIterationsStopping, StallStopping
@@ -41,6 +48,7 @@ __all__ = [
     "PacketMappingProblem",
     "PacketAnnealer",
     "PacketAnnealingOutcome",
+    "SeededMappingProblem",
     "TrajectoryPoint",
 ]
 
@@ -87,6 +95,9 @@ class PacketAnnealingOutcome:
     trajectory: List[TrajectoryPoint] = field(default_factory=list)
     best_replica: Optional[int] = None
     replica_stats: Optional[List[ReplicaStats]] = None
+    #: portfolio runs only: the racing audit record (lane specs, rung
+    #: decisions, champion, budget reallocation).
+    portfolio: Optional[PortfolioReport] = None
 
     @property
     def improvement(self) -> float:
@@ -377,6 +388,39 @@ class PacketMappingProblem(AnnealingProblem):
         return 1.0
 
 
+class SeededMappingProblem(PacketMappingProblem):
+    """A portfolio lane's initial-state strategy, optionally externally seeded.
+
+    ``"etf"`` lanes start from the ETF scheduler's solution for the same
+    packet: *seed_mapping* is the index-space assignment as a tuple of
+    ``(task_index, proc_index)`` pairs sorted by task index, so both the
+    object and the fast engine build the identical
+    :class:`~repro.core.packet.PacketMapping` (insertion order included).
+    An ``"etf"`` lane without a seed degrades to the HLF start; every other
+    strategy defers to :class:`PacketMappingProblem`.
+    """
+
+    def __init__(
+        self,
+        packet: AnnealingPacket,
+        cost_function,
+        initial_mapping: str = "hlf",
+        seed_mapping: Optional[Tuple[Tuple[int, int], ...]] = None,
+    ) -> None:
+        known = initial_mapping if initial_mapping in ("hlf", "random", "empty") else "hlf"
+        super().__init__(packet, cost_function, initial_mapping=known)
+        self.strategy = initial_mapping
+        self.seed_mapping = seed_mapping
+
+    def initial_state(self, rng) -> PacketMapping:
+        if self.strategy == "etf" and self.seed_mapping:
+            mapping = PacketMapping()
+            for i, j in self.seed_mapping:
+                mapping.assign(i, j)
+            return mapping
+        return super().initial_state(rng)
+
+
 class PacketAnnealer:
     """Anneal a single packet under an :class:`~repro.core.config.SAConfig`."""
 
@@ -419,6 +463,7 @@ class PacketAnnealer:
         comm_model: Optional[CommunicationModel] = None,
         rng=None,
         record_trajectory: Optional[bool] = None,
+        seed_assignments: Optional[Dict[str, Dict[TaskId, ProcId]]] = None,
     ) -> PacketAnnealingOutcome:
         """Run simulated annealing on *packet* and return the best mapping found.
 
@@ -436,12 +481,26 @@ class PacketAnnealer:
             Seed or numpy Generator for this packet's stochastic decisions.
         record_trajectory:
             Override the config's ``record_trajectories`` flag for this call.
+        seed_assignments:
+            Portfolio mode only: id-space assignments (strategy name ->
+            ``{task: proc}``) lanes may seed from, e.g. the ETF solution the
+            scheduler computed for this packet.
         """
         cfg = self.config
         rng = as_rng(rng)
         record = cfg.record_trajectories if record_trajectory is None else record_trajectory
         if cfg.replicas > 1:
             return self._anneal_replicated(packet, machine, comm_model, rng, record)
+        if cfg.portfolio is not None and packet.n_ready and packet.n_idle:
+            cost_fn = PacketCostFunction(
+                packet,
+                machine,
+                comm_model=comm_model,
+                weight_balance=cfg.weight_balance,
+                weight_comm=cfg.weight_comm,
+                compiled=True,
+            )
+            return self._anneal_portfolio(packet, cost_fn.kernel, rng, seed_assignments)
 
         cost_fn = PacketCostFunction(
             packet,
@@ -522,6 +581,7 @@ class PacketAnnealer:
         packet: AnnealingPacket,
         kernel: PacketKernel,
         rng=None,
+        seed_assignments: Optional[Dict[TaskId, Dict[TaskId, ProcId]]] = None,
     ) -> PacketAnnealingOutcome:
         """Anneal over a prebuilt kernel (no trajectory recording).
 
@@ -537,6 +597,8 @@ class PacketAnnealer:
         rng = as_rng(rng)
         if cfg.replicas > 1:
             return self._anneal_compiled_replicas(packet, kernel, split(rng, cfg.replicas))
+        if cfg.portfolio is not None and kernel.n_ready and kernel.n_idle:
+            return self._anneal_portfolio(packet, kernel, rng, seed_assignments)
         problem = PacketMappingProblem(
             kernel.index_packet(), kernel, initial_mapping=cfg.initial_mapping
         )
@@ -669,6 +731,124 @@ class PacketAnnealer:
             n_temperature_steps=winner.n_iterations,
             best_replica=best,
             replica_stats=stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Anytime lane portfolio with successive-halving racing
+    # ------------------------------------------------------------------ #
+    def build_lane_plan(
+        self,
+        kernel: PacketKernel,
+        seed_assignments: Optional[Dict[str, Dict[TaskId, ProcId]]] = None,
+    ) -> LanePlan:
+        """The heterogeneous per-lane walk parameters for one packet.
+
+        Public so the differential tests can rebuild the exact plan a
+        portfolio run used and replay each lane as a scalar
+        :func:`~repro.core.array_annealer.anneal_array` walk.  Id-space seed
+        assignments are translated through the kernel's index maps and
+        canonicalized (sorted by task index) so both engines build identical
+        seeds.
+        """
+        cfg = self.config
+        pf = cfg.portfolio
+        specs = pf.lane_specs()
+        index_packet = kernel.index_packet()
+        seeds_ix: Dict[str, Tuple[Tuple[int, int], ...]] = {}
+        for name, mapping in (seed_assignments or {}).items():
+            seeds_ix[name] = tuple(
+                sorted(
+                    (kernel.task_index[t], kernel.proc_index[p])
+                    for t, p in mapping.items()
+                )
+            )
+        problems = [
+            SeededMappingProblem(
+                index_packet, kernel, spec.initial, seeds_ix.get(spec.initial)
+            )
+            for spec in specs
+        ]
+        base = pf.base_budget if pf.base_budget is not None else cfg.max_temperature_steps
+        return LanePlan(
+            problems=problems,
+            coolings=[spec.cooling for spec in specs],
+            t0s=[cfg.initial_temperature * spec.temperature_scale for spec in specs],
+            budgets=np.full(pf.lanes, base, dtype=np.int64),
+            controller=SuccessiveHalvingController(pf.rung, pf.lanes),
+            specs=specs,
+        )
+
+    def _anneal_portfolio(
+        self,
+        packet: AnnealingPacket,
+        kernel: PacketKernel,
+        rng,
+        seed_assignments: Optional[Dict[str, Dict[TaskId, ProcId]]] = None,
+    ) -> PacketAnnealingOutcome:
+        """Race ``cfg.portfolio.lanes`` heterogeneous chains, commit the champion.
+
+        Same split-rng discipline as :meth:`_anneal_compiled_replicas` — one
+        child stream per lane, a twin seed generator for the initial cost —
+        so lane *b* is bit-identical to a scalar run of its own
+        configuration on child *b*, culled or not.
+        """
+        cfg = self.config
+        plan = self.build_lane_plan(kernel, seed_assignments)
+        annealer = self._build_annealer(packet)
+        children = split(rng, cfg.portfolio.lanes)
+        run_rngs = []
+        initial_costs = []
+        for b, child in enumerate(children):
+            seed_rng, run_rng = _split_rng(child)
+            initial_costs.append(
+                plan.problems[b].cost(plan.problems[b].initial_state(seed_rng))
+            )
+            run_rngs.append(as_rng(run_rng))
+        results, trajs = anneal_replicas_batched(
+            kernel, plan.problems[0], annealer, run_rngs, plan=plan
+        )
+        controller = plan.controller
+        culled = set()
+        for rung in controller.rungs:
+            culled.update(rung.culled)
+        stats = [
+            ReplicaStats(
+                replica=b,
+                best_cost=results[b].best_cost,
+                initial_cost=initial_costs[b],
+                final_cost=results[b].final_cost,
+                n_proposals=results[b].n_proposals,
+                n_accepted=results[b].n_accepted,
+                n_temperature_steps=results[b].n_iterations,
+                temperature_trajectory=tuple(trajs[b]),
+                culled=b in culled,
+                budget=int(plan.budgets[b]),
+            )
+            for b in range(len(results))
+        ]
+        best = best_replica_index([r.best_cost for r in results])
+        winner = results[best]
+        report = PortfolioReport(
+            specs=plan.specs,
+            rungs=tuple(controller.rungs),
+            champion=best,
+            champion_cost=winner.best_cost,
+            n_culled=controller.n_culled,
+            budget_reallocated=controller.budget_reallocated,
+            final_budgets=tuple(int(x) for x in plan.budgets),
+            n_steps=tuple(r.n_iterations for r in results),
+        )
+        return PacketAnnealingOutcome(
+            assignment=kernel.assignment_to_ids(winner.best_state),
+            best_cost=winner.best_cost,
+            initial_cost=initial_costs[best],
+            breakdown=_kernel_breakdown(kernel, winner.best_state),
+            n_proposals=sum(r.n_proposals for r in results),
+            n_accepted=sum(r.n_accepted for r in results),
+            n_temperature_steps=winner.n_iterations,
+            best_replica=best,
+            replica_stats=stats,
+            portfolio=report,
         )
 
 

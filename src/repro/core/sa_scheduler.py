@@ -11,13 +11,15 @@ Figure 1 reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Hashable, List, Optional
+from typing import Callable, Dict, Hashable, List, Optional, Union
 
+from repro.annealing.portfolio import PortfolioConfig
 from repro.core.array_annealer import compile_fast_packet
 from repro.core.config import SAConfig
 from repro.core.packet import AnnealingPacket
 from repro.core.packet_annealer import PacketAnnealer, PacketAnnealingOutcome
 from repro.schedulers.base import PacketContext, SchedulingPolicy
+from repro.schedulers.etf import ETFScheduler
 from repro.utils.rng import as_rng, spawn_rng
 
 __all__ = ["SAScheduler", "PacketStats"]
@@ -70,6 +72,12 @@ class SAScheduler(SchedulingPolicy):
         self._rng = as_rng(self.config.seed)
         self.packet_stats: List[PacketStats] = []
         self.packet_outcomes: List[PacketAnnealingOutcome] = []
+        self._committed: Dict[TaskId, ProcId] = {}
+        self._last_outcome: Optional[PacketAnnealingOutcome] = None
+        #: optional observer called with ``best_so_far(include_assignment=False)``
+        #: after every committed packet — the anytime progress channel the
+        #: scheduling service's long-running jobs report through.
+        self.anytime_hook: Optional[Callable[[Dict[str, object]], None]] = None
 
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
@@ -77,6 +85,8 @@ class SAScheduler(SchedulingPolicy):
         self._rng = as_rng(self.config.seed)
         self.packet_stats = []
         self.packet_outcomes = []
+        self._committed = {}
+        self._last_outcome = None
 
     def with_replicas(self, replicas: int) -> "SAScheduler":
         """A new scheduler annealing *replicas* multi-start chains per packet.
@@ -86,6 +96,22 @@ class SAScheduler(SchedulingPolicy):
         ``replicas=`` knob.
         """
         return SAScheduler(replace(self.config, replicas=replicas))
+
+    def with_portfolio(
+        self, portfolio: Union[int, PortfolioConfig]
+    ) -> "SAScheduler":
+        """A new scheduler racing an anytime lane portfolio per packet.
+
+        Fresh state and a fresh RNG; the original scheduler is untouched.
+        The hook :class:`~repro.sim.engine.Simulator` uses for its
+        ``portfolio=`` knob.  The ``anytime_hook`` observer carries over so
+        progress streaming survives the simulator's internal policy copy.
+        """
+        scheduler = SAScheduler(
+            replace(self.config, portfolio=portfolio, replicas=1)
+        )
+        scheduler.anytime_hook = self.anytime_hook
+        return scheduler
 
     # ------------------------------------------------------------------ #
     def _record_outcome(
@@ -106,18 +132,65 @@ class SAScheduler(SchedulingPolicy):
         )
         if self.config.record_trajectories:
             self.packet_outcomes.append(outcome)
+        self._committed.update(outcome.assignment)
+        self._last_outcome = outcome
+        if self.anytime_hook is not None:
+            self.anytime_hook(self.best_so_far(include_assignment=False))
+
+    # ------------------------------------------------------------------ #
+    def best_so_far(self, include_assignment: bool = True) -> Dict[str, object]:
+        """The anytime snapshot: everything committed up to this moment.
+
+        Safe to call mid-run (between packets): cumulative packet counters,
+        the schedule assembled so far and — on portfolio runs — the last
+        packet's champion summary (winning lane, its seed strategy, culling
+        and budget-reallocation counters).  ``include_assignment=False``
+        drops the task-to-processor mapping, leaving a flat dict of scalars
+        that fits a progress message.
+        """
+        stats = self.packet_stats
+        snapshot: Dict[str, object] = {
+            "n_packets": len(stats),
+            "n_tasks_assigned": len(self._committed),
+            "total_initial_cost": float(sum(s.initial_cost for s in stats)),
+            "total_best_cost": float(sum(s.best_cost for s in stats)),
+            "total_improvement": float(sum(s.improvement for s in stats)),
+        }
+        last = self._last_outcome
+        if last is not None and last.portfolio is not None:
+            snapshot["last_packet"] = last.portfolio.best_so_far()
+        if include_assignment:
+            snapshot["assignment"] = dict(self._committed)
+        return snapshot
+
+    def _portfolio_seeds(
+        self, compute
+    ) -> Optional[Dict[str, Dict[TaskId, ProcId]]]:
+        """The external seed assignments portfolio lanes may start from.
+
+        ``compute`` produces the ETF solution for the current packet; it is
+        only invoked when the portfolio actually has an ``"etf"`` lane.  ETF
+        is deterministic and engine-bit-identical, so seeding from it keeps
+        the object/fast differential contract intact.
+        """
+        portfolio = self.config.portfolio
+        if portfolio is None or not portfolio.wants("etf"):
+            return None
+        return {"etf": compute()}
 
     # ------------------------------------------------------------------ #
     def assign(self, ctx: PacketContext) -> Dict[TaskId, ProcId]:
         if ctx.n_idle == 0 or ctx.n_ready == 0:
             return {}
         packet = AnnealingPacket.from_context(ctx)
+        seeds = self._portfolio_seeds(lambda: ETFScheduler().assign(ctx))
         packet_rng = spawn_rng(self._rng, 1)[0]
         outcome = self._annealer.anneal(
             packet,
             ctx.machine,
             comm_model=ctx.comm_model,
             rng=packet_rng,
+            seed_assignments=seeds,
         )
         if not outcome.assignment:
             # Progress guarantee: the paper's outer loop runs "until all tasks
@@ -152,8 +225,11 @@ class SAScheduler(SchedulingPolicy):
         apacket, kernel = compile_fast_packet(
             packet, cfg.weight_balance, cfg.weight_comm
         )
+        seeds = self._portfolio_seeds(lambda: ETFScheduler().fast_assign(packet))
         packet_rng = spawn_rng(self._rng, 1)[0]
-        outcome = self._annealer.anneal_compiled(apacket, kernel, packet_rng)
+        outcome = self._annealer.anneal_compiled(
+            apacket, kernel, packet_rng, seed_assignments=seeds
+        )
         if not outcome.assignment:
             # Progress guarantee, mirroring assign(): highest-level ready
             # task (first in ready order on ties) onto the first idle slot.

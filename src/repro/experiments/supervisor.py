@@ -58,7 +58,28 @@ __all__ = [
     "supervised_map",
     "spec_key",
     "group_key",
+    "progress_sender",
 ]
+
+
+# --------------------------------------------------------------------------- #
+# Anytime progress channel
+# --------------------------------------------------------------------------- #
+
+#: Worker-process-local progress sender, installed by :func:`_worker_loop`
+#: around each cell.  A cell body (e.g. ``run_scenario`` wiring an SA
+#: portfolio's ``anytime_hook``) fetches it with :func:`progress_sender` and
+#: calls it with a JSON-ish snapshot dict; the snapshot travels up the worker
+#: pipe as an out-of-band ``(index, attempt, "progress", snapshot, None)``
+#: tuple.  Pipe replies are FIFO, so progress always precedes the cell's
+#: final reply.  ``None`` whenever no supervised cell is in flight (direct
+#: in-process calls) — callers must handle that.
+_PROGRESS_SENDER: Optional[Callable[[dict], None]] = None
+
+
+def progress_sender() -> Optional[Callable[[dict], None]]:
+    """The in-flight cell's progress sender, or ``None`` outside a worker."""
+    return _PROGRESS_SENDER
 
 
 # --------------------------------------------------------------------------- #
@@ -72,8 +93,16 @@ def spec_key(spec: dict) -> str:
     excluded, so the hash depends only on what the cell *is*, not on where
     it sits in the grid or how it was scheduled.  Used to key checkpoint
     journal entries and chaos decisions.
+
+    A ``portfolio`` of ``None`` is also excluded: non-portfolio cells hash
+    exactly as they did before the field existed, so checkpoint journals
+    written by older sweeps still resume and seeded chaos plans keep firing
+    on the same cells.
     """
-    payload = {k: v for k, v in spec.items() if not k.startswith("_")}
+    payload = {
+        k: v for k, v in spec.items()
+        if not k.startswith("_") and not (k == "portfolio" and v is None)
+    }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -356,9 +385,18 @@ def _worker_loop(conn, fn, chaos: Optional[ChaosConfig], max_tasks: Optional[int
         if msg is None:
             break
         index, attempt, key, item = msg
+
+        def _send_progress(snapshot: dict, _i=index, _a=attempt) -> None:
+            try:
+                conn.send((_i, _a, "progress", snapshot, None))
+            except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+                pass
+
+        global _PROGRESS_SENDER
         try:
             payload = chaos.inject(key, attempt) if chaos is not None else None
             if payload is None:
+                _PROGRESS_SENDER = _send_progress
                 payload = fn(item)
             reply = (index, attempt, True, payload, None)
         except KeyboardInterrupt:  # pragma: no cover - interrupted mid-cell
@@ -371,6 +409,8 @@ def _worker_loop(conn, fn, chaos: Optional[ChaosConfig], max_tasks: Optional[int
                 None,
                 (type(exc).__name__, str(exc), traceback_module.format_exc()),
             )
+        finally:
+            _PROGRESS_SENDER = None
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):  # pragma: no cover - supervisor gone
@@ -415,6 +455,7 @@ def supervised_map(
     annotate: Optional[Callable[[object, object, int, List[dict]], object]] = None,
     on_failure: Optional[Callable[[object, List[dict]], object]] = None,
     on_result: Optional[Callable[[object, object], None]] = None,
+    on_progress: Optional[Callable[[object, dict], None]] = None,
 ) -> Tuple[List[object], dict]:
     """Map *fn* over *items* under supervision; returns ``(results, stats)``.
 
@@ -436,6 +477,11 @@ def supervised_map(
     ``on_result(item, result)``
         Called once per *successful* item as it completes (checkpointing);
         terminal failures are not journaled, so a resumed run retries them.
+    ``on_progress(item, snapshot)``
+        Called for every anytime-progress snapshot a worker streams while a
+        cell is still running (see :func:`progress_sender`); snapshots from
+        superseded attempts are dropped, and without the hook progress
+        tuples are silently discarded.
     """
     config = config or SupervisorConfig()
     items = list(items)
@@ -662,6 +708,20 @@ def supervised_map(
                     _handle_exit(slot)
                     continue
                 index, attempt, ok, payload, err = msg
+                if ok == "progress":
+                    # Out-of-band anytime snapshot: the cell is still
+                    # running, so the worker stays busy and its deadline
+                    # stands.  Deliver only current-attempt snapshots.
+                    task = worker.current
+                    if (
+                        on_progress is not None
+                        and task is not None
+                        and task.index == index
+                        and task.attempt == attempt
+                        and not done[index]
+                    ):
+                        on_progress(task.item, payload)
+                    continue
                 task = worker.current
                 worker.current = None
                 worker.deadline = None

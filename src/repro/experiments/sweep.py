@@ -122,6 +122,7 @@ from repro.experiments.supervisor import (
     Checkpoint,
     SupervisorConfig,
     group_key,
+    progress_sender,
     spec_key,
     supervised_map,
 )
@@ -384,6 +385,7 @@ def build_grid(
     fidelity: str = "latency",
     fast: Optional[bool] = None,
     replicas: Optional[int] = None,
+    portfolio: Optional[int] = None,
 ) -> List[dict]:
     """Expand the scenario grid into a list of picklable spec dicts.
 
@@ -392,11 +394,17 @@ def build_grid(
     comparison is paired.  Unknown registry keys raise ``KeyError`` early,
     before any worker starts.  *replicas* applies batched multi-start
     annealing to the SA rows only (the other policies have no replica
-    notion); like unknown keys, an invalid count fails here rather than as
-    one error row per SA spec.
+    notion); *portfolio* races the anytime heterogeneous-lane portfolio on
+    the SA rows instead (the two are mutually exclusive).  Like unknown
+    keys, an invalid count fails here rather than as one error row per SA
+    spec.
     """
     if replicas is not None and replicas < 1:
         raise ValueError(f"replicas must be >= 1 or None, got {replicas}")
+    if portfolio is not None and portfolio < 2:
+        raise ValueError(f"portfolio must be >= 2 lanes or None, got {portfolio}")
+    if replicas is not None and portfolio is not None:
+        raise ValueError("replicas and portfolio are mutually exclusive")
     for name in policies:
         if name not in POLICY_BUILDERS:
             raise KeyError(f"unknown policy {name!r}; known: {sorted(POLICY_BUILDERS)}")
@@ -425,6 +433,9 @@ def build_grid(
                                 "replicas": (
                                     replicas if policy.startswith("SA") else None
                                 ),
+                                "portfolio": (
+                                    portfolio if policy.startswith("SA") else None
+                                ),
                             }
                         )
     return grid
@@ -441,6 +452,22 @@ def _error_fields(exc_type: str, message: str, tb: str) -> dict:
         engine_used=None,
         engine_fallbacks=[],
     )
+
+
+def _build_policy(spec: dict):
+    """Fresh policy for one engine attempt, with anytime progress wired.
+
+    Portfolio rows running under a supervised worker get the worker's
+    progress sender as their ``anytime_hook``, so the per-packet
+    ``best_so_far`` snapshots stream up the pipe while the cell runs
+    (observability only — rows are bit-identical with or without it).
+    """
+    policy = POLICY_BUILDERS[spec["policy"]](spec["policy_seed"])
+    if spec.get("portfolio") is not None:
+        sender = progress_sender()
+        if sender is not None and hasattr(policy, "anytime_hook"):
+            policy.anytime_hook = sender
+    return policy
 
 
 def run_scenario(spec: dict) -> dict:
@@ -467,7 +494,7 @@ def run_scenario(spec: dict) -> dict:
             machine,
             # A fresh policy per engine attempt: the object-engine retry
             # replays the identical stochastic stream from the start.
-            lambda: POLICY_BUILDERS[spec["policy"]](spec["policy_seed"]),
+            lambda: _build_policy(spec),
             comm_model=comm_model,
             fidelity=spec.get("fidelity", "latency"),
             record_trace=False,
@@ -476,6 +503,7 @@ def run_scenario(spec: dict) -> dict:
             # pins the object engine.
             fast=spec.get("fast"),
             replicas=spec.get("replicas"),
+            portfolio=spec.get("portfolio"),
         )
         row.update(
             makespan=result.makespan,
@@ -793,6 +821,7 @@ def run_sweep(
     out: Optional[str] = None,
     fast: Optional[bool] = None,
     replicas: Optional[int] = None,
+    portfolio: Optional[int] = None,
     lanes: int = 1,
     timeout: Optional[float] = None,
     retries: int = 2,
@@ -812,7 +841,9 @@ def run_sweep(
     latency runs use the compiled fast engine; ``False`` pins the object
     engine, e.g. for engine benchmarking); either way the numbers are
     bit-for-bit identical.  *replicas* turns on batched multi-start
-    annealing for the SA rows (``--replicas`` on the CLI).
+    annealing for the SA rows (``--replicas`` on the CLI); *portfolio*
+    races the anytime heterogeneous-lane portfolio on the SA rows instead
+    (``--portfolio``; mutually exclusive with replicas).
 
     *lanes* batches up to that many cells as lock-step lanes of one
     batched-engine call per worker (:func:`run_lane_group`), composing with
@@ -863,6 +894,7 @@ def run_sweep(
         fidelity=fidelity,
         fast=fast,
         replicas=replicas,
+        portfolio=portfolio,
     )
     for index, spec in enumerate(grid):
         spec["_key"] = spec_key(spec)
@@ -886,7 +918,9 @@ def run_sweep(
     lane_indices: List[int] = []
     if effective_lanes > 1 and fast is not False:
         lane_indices = [
-            spec["_index"] for spec in remaining if spec["replicas"] is None
+            spec["_index"]
+            for spec in remaining
+            if spec["replicas"] is None and spec["portfolio"] is None
         ]
     items: List[object]
     spec_by_index = {spec["_index"]: spec for spec in remaining}
@@ -967,6 +1001,7 @@ def run_sweep(
             "fidelity": fidelity,
             "engine": {None: "auto", True: "fast", False: "object"}[fast],
             "replicas": replicas,
+            "portfolio": portfolio,
             "n_fallback_epochs": sum(
                 r.get("n_fallback_epochs") or 0 for r in rows
             ),
@@ -1037,7 +1072,7 @@ def run_sweep(
 #: (timings, pids, attempt counts, cache deltas, degradation records).
 SCIENCE_FIELDS = (
     "policy", "machine", "family", "graph_seed", "policy_seed", "with_comm",
-    "fidelity", "fast", "replicas", "error",
+    "fidelity", "fast", "replicas", "portfolio", "error",
     "makespan", "speedup", "n_tasks", "n_packets",
 )
 
@@ -1158,6 +1193,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--portfolio", type=int, default=None,
+        help=(
+            "anytime SA portfolio racing for the SA rows: race this many "
+            "heterogeneous lanes (cooling schedule x initial seed x "
+            "temperature scale) per packet with successive-halving culling "
+            "and commit the champion lane's mapping; mutually exclusive "
+            "with --replicas (default: off)"
+        ),
+    )
+    parser.add_argument(
         "--engine", choices=["auto", "fast", "object"], default="auto",
         help=(
             "simulation engine: 'auto' (default) compiles latency scenarios "
@@ -1234,6 +1279,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     comm = {"with": (True,), "without": (False,), "both": (False, True)}[args.comm]
     if args.replicas is not None and args.replicas < 1:
         parser.error(f"--replicas must be >= 1, got {args.replicas}")
+    if args.portfolio is not None and args.portfolio < 2:
+        parser.error(f"--portfolio must be >= 2, got {args.portfolio}")
+    if args.replicas is not None and args.portfolio is not None:
+        parser.error("--replicas and --portfolio are mutually exclusive")
     if args.lanes < 1:
         parser.error(f"--lanes must be >= 1, got {args.lanes}")
     if args.retries < 0:
@@ -1281,6 +1330,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         out=args.out,
         fast={"auto": None, "fast": True, "object": False}[args.engine],
         replicas=args.replicas,
+        portfolio=args.portfolio,
         lanes=args.lanes,
         timeout=args.timeout,
         retries=args.retries,

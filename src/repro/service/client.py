@@ -105,6 +105,52 @@ class ServiceClient:
         """Run one job and return its result row (raises on error response)."""
         return self._unwrap(self.request("simulate", job=job))
 
+    def submit(self, job: dict) -> str:
+        """Submit *job* asynchronously; returns its ``job_id`` immediately."""
+        response = self.request("submit", job=job)
+        if not response.get("ok"):
+            self._raise_error(response)
+        return response["job_id"]
+
+    def poll(self, job_id: str) -> dict:
+        """The current registry record of an async job.
+
+        ``state`` is ``queued`` / ``running`` / ``done`` / ``error``;
+        ``best_so_far`` carries the latest anytime snapshot an SA portfolio
+        job has streamed (``None`` until the first packet commits), ``row``
+        the finished result once ``state == "done"``.
+        """
+        response = self.request("poll", job_id=job_id)
+        if not response.get("ok"):
+            self._raise_error(response)
+        return response["job"]
+
+    def wait(self, job_id: str, timeout: float = 60.0, interval: float = 0.05) -> dict:
+        """Poll an async job until it finishes; returns its result row.
+
+        Raises :class:`ServiceJobError` if the job ends in ``error`` and
+        :class:`ProtocolError` on timeout.
+        """
+        import time as _time
+
+        deadline = _time.monotonic() + timeout
+        while True:
+            record = self.poll(job_id)
+            if record["state"] == "done":
+                return record["row"]
+            if record["state"] == "error":
+                error = record.get("error") or {}
+                raise ServiceJobError(
+                    error.get("message", "async job failed"),
+                    error_type=error.get("type", "ServiceError"),
+                )
+            if _time.monotonic() > deadline:
+                raise ProtocolError(
+                    f"async job {job_id!r} did not finish within {timeout}s "
+                    f"(state {record['state']!r})"
+                )
+            _time.sleep(interval)
+
     def simulate_many(
         self, jobs: Iterable[dict], raise_on_error: bool = True
     ) -> List[dict]:
@@ -145,10 +191,14 @@ class ServiceClient:
             return responses
         return [self._unwrap(response) for response in responses]
 
-    @staticmethod
-    def _unwrap(response: dict) -> dict:
+    @classmethod
+    def _unwrap(cls, response: dict) -> dict:
         if response.get("ok"):
             return response["row"]
+        cls._raise_error(response)
+
+    @staticmethod
+    def _raise_error(response: dict) -> None:
         error = response.get("error") or {}
         raise ServiceJobError(
             error.get("message", "service error"),

@@ -50,13 +50,18 @@ def shard(spec: dict, n_workers: int) -> int:
 def lane_eligible(spec: dict) -> bool:
     """Whether this job may ride a batched lane group.
 
-    Mirrors the sweep's lane planner: replica fan-out runs solo (each
-    replicated cell is already an internal batch), and ``fast=False`` pins
-    the reference object engine which has no lane path.  SA jobs with no
-    replica fan-out are eligible — coalescing them is the service's main
-    win, since annealing dominates per-job cost.
+    Mirrors the sweep's lane planner: replica fan-out and portfolio racing
+    run solo (each such cell is already an internal batch, and an anytime
+    portfolio job's progress stream must attribute to exactly one job), and
+    ``fast=False`` pins the reference object engine which has no lane path.
+    SA jobs with neither fan-out are eligible — coalescing them is the
+    service's main win, since annealing dominates per-job cost.
     """
-    return spec.get("replicas") is None and spec.get("fast") is not False
+    return (
+        spec.get("replicas") is None
+        and spec.get("portfolio") is None
+        and spec.get("fast") is not False
+    )
 
 
 def coalesce_key(spec: dict) -> Tuple[str, ...]:

@@ -13,6 +13,17 @@ Requests::
         "family": "layered", "graph_seed": 0, "policy_seed": 0,
         "with_comm": true, "fidelity": "latency",
         "replicas": null, "fingerprint": true}}
+    {"id": 4, "op": "submit", "job": {
+        "policy": "SA", "machine": "hypercube8", "family": "dag200",
+        "portfolio": 8}}
+    {"id": 5, "op": "poll", "job_id": "job-1"}
+
+``submit`` takes the same job object as ``simulate`` but returns
+immediately with a ``job_id``; the job runs asynchronously and ``poll``
+reports its ``state`` (``queued`` / ``running`` / ``done`` / ``error``), the
+finished ``row`` once done, and — for SA ``portfolio`` jobs — the streamed
+anytime ``best_so_far`` snapshot (committed packets, cumulative costs, the
+last packet's champion lane) while the job is still running.
 
 A ``simulate`` job addresses its graph by registry ``family`` + ``graph_seed``
 or ships it inline as ``graph_payload`` (:mod:`repro.taskgraph.io` format);
@@ -59,7 +70,7 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: Operations the server understands.
-OPS = ("simulate", "stats", "ping")
+OPS = ("simulate", "submit", "poll", "stats", "ping")
 
 FIDELITIES = ("latency", "contention")
 
@@ -75,6 +86,7 @@ _JOB_FIELDS = {
     "fidelity",
     "fast",
     "replicas",
+    "portfolio",
     "fingerprint",
 }
 
@@ -270,6 +282,24 @@ def job_to_spec(
                 f"limit of {limits.max_replicas}"
             )
     spec["replicas"] = replicas
+
+    portfolio = job.get("portfolio")
+    if portfolio is not None:
+        _require(
+            isinstance(portfolio, int) and not isinstance(portfolio, bool)
+            and portfolio >= 2,
+            "'portfolio' must be an integer >= 2 or null",
+        )
+        _require(
+            replicas is None,
+            "'replicas' and 'portfolio' are mutually exclusive",
+        )
+        if portfolio > limits.max_replicas:
+            raise ProtocolError(
+                f"job requests {portfolio} portfolio lanes, exceeding the "
+                f"server's limit of {limits.max_replicas}"
+            )
+    spec["portfolio"] = portfolio
 
     fingerprint = job.get("fingerprint", False)
     _require(isinstance(fingerprint, bool), "'fingerprint' must be a boolean")

@@ -22,6 +22,13 @@ Request flow for a ``simulate`` job:
 4. the reply rows are matched back to their requests and written to each
    client, bit-identical to direct :func:`repro.sim.engine.simulate` calls.
 
+A ``submit`` job takes the same path but detached from its client: the
+server answers immediately with a ``job_id``, runs the job **solo** (never
+coalesced, so the worker's anytime progress stream attributes to exactly one
+job), and parks the outcome in a bounded in-memory registry that ``poll``
+reads — including the per-packet ``best_so_far`` snapshots an SA portfolio
+run streams up the worker pipe while it anneals.
+
 A worker that dies mid-batch is respawned and its jobs are requeued
 transparently (bounded by ``retries``); jobs that exhaust their attempts get
 a structured ``WorkerError`` response.  The ``stats`` op exposes the
@@ -37,7 +44,7 @@ import contextlib
 import multiprocessing as mp
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
@@ -92,18 +99,33 @@ class ServiceConfig:
 
 
 class _Job:
-    """One in-flight ``simulate`` request: its spec, client, and retry state."""
+    """One in-flight ``simulate``/``submit`` request and its retry state.
 
-    __slots__ = ("request_id", "spec", "writer", "attempt", "affinity", "eligible", "ckey")
+    A ``submit`` job carries its registry ``job_id`` instead of answering a
+    waiting client; it is never lane-coalesced, so the anytime progress its
+    worker streams is unambiguous about which job it describes.
+    """
 
-    def __init__(self, request_id, spec: dict, writer: asyncio.StreamWriter):
+    __slots__ = (
+        "request_id", "spec", "writer", "attempt", "affinity", "eligible",
+        "ckey", "job_id",
+    )
+
+    def __init__(
+        self,
+        request_id,
+        spec: dict,
+        writer: asyncio.StreamWriter,
+        job_id: Optional[str] = None,
+    ):
         self.request_id = request_id
         self.spec = spec
         self.writer = writer
         self.attempt = 1
         self.affinity = jobs_module.affinity_key(spec)
-        self.eligible = jobs_module.lane_eligible(spec)
+        self.eligible = job_id is None and jobs_module.lane_eligible(spec)
         self.ckey = jobs_module.coalesce_key(spec)
+        self.job_id = job_id
 
 
 class _WorkerSlot:
@@ -138,6 +160,9 @@ def _new_stats() -> dict:
         "affinity_misses": 0,
         "worker_deaths": 0,
         "respawns": 0,
+        "submitted": 0,
+        "polls": 0,
+        "progress_updates": 0,
         "compile_cache_hits": 0,
         "compile_cache_misses": 0,
         "compile_cache_evictions": 0,
@@ -155,6 +180,11 @@ class SchedulerService:
         self._stats = _new_stats()
         self._started_at: Optional[float] = None
         self._next_task_index = 0
+        #: Async job registry for submit/poll, insertion-ordered so pruning
+        #: drops the oldest *finished* jobs first (bounded memory).
+        self._jobs: "OrderedDict[str, dict]" = OrderedDict()
+        self._next_job_id = 0
+        self._max_finished_jobs = 1024
         self._closing = False
         methods = mp.get_all_start_methods()
         self._ctx = mp.get_context("fork" if "fork" in methods else "spawn")
@@ -280,6 +310,16 @@ class SchedulerService:
                     writer, {"id": request_id, "ok": True, "stats": self.stats()}
                 )
                 return
+            if op == "poll":
+                self._stats["polls"] += 1
+                job_id = message.get("job_id")
+                record = self._jobs.get(job_id)
+                if record is None:
+                    raise ProtocolError(f"unknown job_id {job_id!r}")
+                self._write(
+                    writer, {"id": request_id, "ok": True, "job": dict(record)}
+                )
+                return
             spec = protocol.job_to_spec(
                 message.get("job"),
                 self.config.limits,
@@ -292,12 +332,41 @@ class SchedulerService:
             self._write(writer, protocol.error_response(request_id, exc))
             return
         self._stats["received"] += 1
-        job = _Job(request_id, spec, writer)
+        job_id = None
+        if op == "submit":
+            self._stats["submitted"] += 1
+            job_id = self._register_job(spec)
+            # Answer now; the job continues detached and poll reads it back.
+            self._write(writer, {"id": request_id, "ok": True, "job_id": job_id})
+        job = _Job(request_id, spec, writer, job_id=job_id)
         if not self._slots:
             assert self._loop is not None
             self._loop.create_task(self._run_inline(job))
             return
         self._enqueue(job, front=False)
+
+    def _register_job(self, spec: dict) -> str:
+        self._next_job_id += 1
+        job_id = f"job-{self._next_job_id}"
+        self._jobs[job_id] = {
+            "job_id": job_id,
+            "state": "queued",
+            "spec_key": sweep_module._item_key(spec),
+            "best_so_far": None,
+            "row": None,
+            "error": None,
+        }
+        # Bound the registry: evict the oldest finished jobs beyond the cap
+        # (in-flight jobs are never evicted).
+        finished = [
+            key
+            for key, record in self._jobs.items()
+            if record["state"] in ("done", "error")
+        ]
+        excess = len(self._jobs) - self._max_finished_jobs
+        for key in finished[:max(0, excess)]:
+            del self._jobs[key]
+        return job_id
 
     async def _run_inline(self, job: _Job) -> None:
         """Debug path (``workers=0``): run in the server process."""
@@ -406,6 +475,11 @@ class SchedulerService:
             return
         slot.inflight = batch
         slot.dispatches += 1
+        for job in batch:
+            if job.job_id is not None:
+                record = self._jobs.get(job.job_id)
+                if record is not None:
+                    record["state"] = "running"
 
     # ------------------------------------------------------------------ #
     # Worker replies and deaths
@@ -418,6 +492,25 @@ class SchedulerService:
             self._handle_worker_exit(slot)
             return
         _index, _attempt, ok, payload, err = msg
+        if ok == "progress":
+            # Out-of-band anytime snapshot from a still-running cell: the
+            # worker stays busy.  Async jobs dispatch solo, so the snapshot
+            # belongs to the single inflight job; drop stale attempts.
+            task = slot.worker.current
+            batch = slot.inflight
+            if (
+                task is not None
+                and task.index == _index
+                and task.attempt == _attempt
+                and batch is not None
+                and len(batch) == 1
+                and batch[0].job_id is not None
+            ):
+                record = self._jobs.get(batch[0].job_id)
+                if record is not None and record["state"] == "running":
+                    record["best_so_far"] = payload
+                    self._stats["progress_updates"] += 1
+            return
         batch = slot.inflight
         slot.inflight = None
         slot.worker.current = None
@@ -471,19 +564,30 @@ class SchedulerService:
         for job in reversed(batch):
             if job.attempt > self.config.retries:
                 self._stats["errors"] += 1
+                terminal = (
+                    error_type,
+                    f"{message} (gave up after {job.attempt} attempt(s))",
+                )
+                if job.job_id is not None:
+                    record = self._jobs.get(job.job_id)
+                    if record is not None:
+                        record["state"] = "error"
+                        record["error"] = {
+                            "type": terminal[0],
+                            "message": terminal[1],
+                        }
+                    continue
                 self._write(
                     job.writer,
-                    protocol.error_response(
-                        job.request_id,
-                        (
-                            error_type,
-                            f"{message} (gave up after {job.attempt} attempt(s))",
-                        ),
-                    ),
+                    protocol.error_response(job.request_id, terminal),
                 )
                 continue
             job.attempt += 1
             self._stats["retried"] += 1
+            if job.job_id is not None:
+                record = self._jobs.get(job.job_id)
+                if record is not None:
+                    record["state"] = "queued"
             self._enqueue(job, front=True)
 
     # ------------------------------------------------------------------ #
@@ -499,6 +603,20 @@ class SchedulerService:
 
     def _finish_job(self, job: _Job, row: dict) -> None:
         public = {k: v for k, v in row.items() if not k.startswith("_")}
+        if job.job_id is not None:
+            record = self._jobs.get(job.job_id)
+            if record is not None:
+                if public.get("error") is not None:
+                    record["state"] = "error"
+                    record["error"] = {
+                        "type": public.get("error_type") or "SimulationError",
+                        "message": public["error"],
+                    }
+                else:
+                    record["state"] = "done"
+                    record["row"] = public
+            self._stats["errors" if public.get("error") is not None else "completed"] += 1
+            return
         if public.get("error") is not None:
             self._stats["errors"] += 1
             self._write(
@@ -547,6 +665,12 @@ class SchedulerService:
                 "errors": s["errors"],
                 "protocol_errors": s["protocol_errors"],
                 "retried": s["retried"],
+            },
+            "async": {
+                "submitted": s["submitted"],
+                "polls": s["polls"],
+                "progress_updates": s["progress_updates"],
+                "registered": len(self._jobs),
             },
             "coalescing": {
                 "batches": s["batches"],

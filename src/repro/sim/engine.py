@@ -103,6 +103,13 @@ class Simulator:
         (``policy.with_replicas(replicas)``, e.g. SA's batched multi-start
         annealing) and run that instead.  ``None`` leaves the policy as
         passed; policies without the hook raise :class:`SimulationError`.
+    portfolio:
+        When given, ask the policy for an anytime-portfolio variant of
+        itself (``policy.with_portfolio(portfolio)``, e.g. SA's
+        successive-halving lane racing; an ``int`` lane count or a
+        :class:`~repro.annealing.portfolio.PortfolioConfig`).  Mutually
+        exclusive with ``replicas``; policies without the hook raise
+        :class:`SimulationError`.
     """
 
     def __init__(
@@ -115,9 +122,15 @@ class Simulator:
         record_trace: bool = True,
         fast: Optional[bool] = None,
         replicas: Optional[int] = None,
+        portfolio=None,
     ) -> None:
         if fidelity not in _FIDELITIES:
             raise SimulationError(f"fidelity must be one of {_FIDELITIES}, got {fidelity!r}")
+        if replicas is not None and portfolio is not None:
+            raise SimulationError(
+                "replicas and portfolio are mutually exclusive "
+                "(a portfolio already runs multiple lanes)"
+            )
         if replicas is not None:
             if replicas < 1:
                 raise SimulationError(f"replicas must be >= 1, got {replicas}")
@@ -128,6 +141,14 @@ class Simulator:
                     "(no with_replicas hook; only SA anneals multi-start chains)"
                 )
             policy = with_replicas(replicas)
+        if portfolio is not None:
+            with_portfolio = getattr(policy, "with_portfolio", None)
+            if with_portfolio is None:
+                raise SimulationError(
+                    f"policy {policy!r} does not support portfolio= "
+                    "(no with_portfolio hook; only SA races annealing lanes)"
+                )
+            policy = with_portfolio(portfolio)
         graph.validate()
         self.graph = graph
         self.machine = machine
@@ -427,6 +448,7 @@ def simulate(
     record_trace: bool = True,
     fast: Optional[bool] = None,
     replicas: Optional[int] = None,
+    portfolio=None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`Simulator` and run it once."""
     return Simulator(
@@ -438,6 +460,7 @@ def simulate(
         record_trace=record_trace,
         fast=fast,
         replicas=replicas,
+        portfolio=portfolio,
     ).run()
 
 
@@ -450,6 +473,7 @@ def simulate_degraded(
     record_trace: bool = False,
     fast: Optional[bool] = None,
     replicas: Optional[int] = None,
+    portfolio=None,
 ):
     """Run a scenario with the engine degradation ladder armed.
 
@@ -482,6 +506,7 @@ def simulate_degraded(
         record_trace=record_trace,
         fast=fast,
         replicas=replicas,
+        portfolio=portfolio,
     )
     used_fast = sim._use_fast_engine()  # EngineFallbackError on forced-fast misuse
     try:
@@ -507,5 +532,6 @@ def simulate_degraded(
             record_trace=record_trace,
             fast=False,
             replicas=replicas,
+            portfolio=portfolio,
         ).run()
         return result, "object", fallbacks

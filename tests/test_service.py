@@ -139,6 +139,26 @@ class TestProtocol:
 
         assert spec_key(spec) == spec_key(job_to_spec(_job()))
 
+    def test_portfolio_field_accepted(self):
+        spec = job_to_spec(_job(policy="SA", portfolio=8))
+        assert spec["portfolio"] == 8
+
+    @pytest.mark.parametrize("bad", [True, 1, 0, -2, "8", 2.0])
+    def test_invalid_portfolio_rejected(self, bad):
+        with pytest.raises(ProtocolError, match="portfolio"):
+            job_to_spec(_job(policy="SA", portfolio=bad))
+
+    def test_portfolio_and_replicas_are_exclusive(self):
+        with pytest.raises(ProtocolError, match="mutually exclusive"):
+            job_to_spec(_job(policy="SA", portfolio=4, replicas=4))
+
+    def test_oversized_portfolio_rejected(self):
+        with pytest.raises(ProtocolError, match="limit"):
+            job_to_spec(
+                _job(policy="SA", portfolio=10_000),
+                RequestLimits(max_replicas=64),
+            )
+
 
 class TestRouting:
     def test_affinity_ignores_policy_and_seed(self):
@@ -158,6 +178,11 @@ class TestRouting:
         assert lane_eligible({"replicas": None, "fast": True})
         assert not lane_eligible({"replicas": 8, "fast": None})
         assert not lane_eligible({"replicas": None, "fast": False})
+        # Portfolio jobs drive heterogeneous lanes of their own; they can
+        # never ride a shared lane group.
+        assert not lane_eligible(
+            {"replicas": None, "portfolio": 4, "fast": None}
+        )
 
     def test_coalesce_key_is_per_fidelity(self):
         assert coalesce_key({"fidelity": "latency"}) != coalesce_key(
@@ -265,6 +290,61 @@ class TestService:
         with ServiceClient(*service) as client:
             row = client.simulate(job)
         assert row["makespan"] == _direct(job)["makespan"]
+
+    def test_portfolio_jobs_run_solo(self, service):
+        job = _job(policy="SA", portfolio=2)
+        with ServiceClient(*service) as client:
+            row = client.simulate(job)
+        direct = _direct(job)
+        assert row["makespan"] == direct["makespan"]
+        assert row["portfolio"] == 2
+        assert row["engine_used"] != "batched"
+
+
+class TestAsyncJobs:
+    def test_submit_poll_roundtrip_is_bit_identical(self, service):
+        job = _job(policy="SA", portfolio=2, graph_seed=1)
+        with ServiceClient(*service) as client:
+            before = client.stats()
+            job_id = client.submit(job)
+            row = client.wait(job_id, timeout=120.0)
+            record = client.poll(job_id)
+            after = client.stats()
+        assert record["state"] == "done"
+        assert record["job_id"] == job_id
+        assert record["error"] is None
+        assert record["row"]["makespan"] == row["makespan"]
+        direct = _direct(job)
+        for key in SCIENCE:
+            assert row[key] == direct[key], key
+        assert row["portfolio"] == 2
+        assert after["async"]["submitted"] == before["async"]["submitted"] + 1
+        assert after["async"]["polls"] > before["async"]["polls"]
+
+    def test_portfolio_job_streams_anytime_progress(self, service):
+        job = _job(policy="SA", portfolio=2)
+        with ServiceClient(*service) as client:
+            before = client.stats()
+            job_id = client.submit(job)
+            client.wait(job_id, timeout=120.0)
+            record = client.poll(job_id)
+            after = client.stats()
+        # Worker progress messages arrive on the reply pipe before the final
+        # row, so a finished job's record holds the last anytime snapshot.
+        snapshot = record["best_so_far"]
+        assert snapshot is not None
+        assert snapshot["n_packets"] == record["row"]["n_packets"]
+        assert snapshot["last_packet"]["n_lanes"] == 2
+        assert (
+            after["async"]["progress_updates"]
+            >= before["async"]["progress_updates"] + snapshot["n_packets"]
+        )
+
+    def test_poll_unknown_job_id(self, service):
+        with ServiceClient(*service) as client:
+            with pytest.raises(ServiceJobError) as info:
+                client.poll("job-999999")
+        assert info.value.error_type == "ProtocolError"
 
 
 class TestServiceErrors:
